@@ -1,0 +1,61 @@
+"""C-2: positions and the median in O(log n) rounds (Corollary 2)."""
+
+from common import Experiment, flat_or_decreasing, log2n, make_net
+from repro.primitives.bbst import build_bbst
+from repro.primitives.protocol import ns_state, run_protocol
+from repro.primitives.traversal import (
+    annotate_positions,
+    compute_subtree_sizes,
+    find_median,
+)
+
+
+def measure(n: int, seed: int = 3):
+    net = make_net(n, seed=seed)
+
+    def proto():
+        ns, root = yield from build_bbst(net)
+        members = list(net.node_ids)
+        base = net.rounds
+        yield from compute_subtree_sizes(net, ns, members)
+        yield from annotate_positions(net, ns, members, root)
+        median = yield from find_median(net, ns, members, root)
+        return ns, median, net.rounds - base
+
+    ns, median, rounds = run_protocol(net, proto())
+    positions_ok = all(
+        ns_state(net, v, ns)["pos"] == i for i, v in enumerate(net.node_ids)
+    )
+    median_ok = median == net.node_ids[(n - 1) // 2]
+    common = all(ns_state(net, v, ns)["median"] == median for v in net.node_ids)
+    return rounds, positions_ok and median_ok and common
+
+
+def experiment() -> Experiment:
+    rows, ratios = [], []
+    for n in (8, 32, 128, 512, 2048):
+        rounds, valid = measure(n)
+        ratio = rounds / log2n(n)
+        ratios.append(ratio)
+        rows.append([n, rounds, f"{ratio:.2f}", valid])
+    shape = flat_or_decreasing(ratios) and all(r[-1] for r in rows)
+    return Experiment(
+        exp_id="C-2",
+        claim="every node learns its path position; the median's address "
+        "becomes common knowledge — O(log n) rounds",
+        headers=["n", "rounds (post-BBST)", "rounds/log2(n)", "valid"],
+        rows=rows,
+        shape_holds=shape,
+        notes="Cost on top of the Theorem-1 tree: sizes (height), positions "
+        "(height), median escalation + flood (2x height).",
+    )
+
+
+def test_cor02_position_median(benchmark):
+    def run():
+        return measure(512, seed=4)[0]
+
+    rounds = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert rounds <= 8 * log2n(512)
+    exp = experiment()
+    assert exp.shape_holds, exp.render()

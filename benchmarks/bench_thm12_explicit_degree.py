@@ -1,0 +1,70 @@
+"""T-12: explicit realization in O(m/n + Δ/log n + log n) extra rounds."""
+
+from common import Experiment, log2n, make_net
+from repro.core.degree_realization import degree_realization_protocol
+from repro.core.explicit import explicit_conversion_protocol
+from repro.primitives.protocol import run_protocol
+from repro.validation import check_explicit
+from repro.workloads import concentrated_sequence, regular_sequence
+
+
+def measure(seq, seed: int = 18):
+    net = make_net(len(seq), seed=seed)
+    demands = dict(zip(net.node_ids, seq))
+
+    def proto():
+        outcome = yield from degree_realization_protocol(
+            net, demands, sort_fidelity="charged"
+        )
+        assert outcome["realized"]
+        base = net.rounds
+        count = yield from explicit_conversion_protocol(net)
+        return net.rounds - base, count
+
+    conv_rounds, introduced = run_protocol(net, proto())
+    return conv_rounds, introduced, check_explicit(net), net
+
+
+def experiment() -> Experiment:
+    rows = []
+    ok = True
+    ratios = []
+    for label, seq in (
+        ("regular d=4, n=32", regular_sequence(32, 4)),
+        ("regular d=4, n=128", regular_sequence(128, 4)),
+        ("regular d=8, n=64", regular_sequence(64, 8)),
+        ("regular d=16, n=64", regular_sequence(64, 16)),
+        ("concentrated k=10, n=64", concentrated_sequence(64, 10, seed=2)),
+    ):
+        conv_rounds, introduced, explicit, net = measure(seq)
+        ok &= explicit
+        n = len(seq)
+        m = sum(seq) // 2
+        delta = max(seq)
+        bound = m / n + delta / log2n(n) + log2n(n)
+        ratio = conv_rounds / bound
+        ratios.append(ratio)
+        rows.append([label, m, delta, conv_rounds, f"{bound:.1f}",
+                     f"{ratio:.2f}", explicit])
+    shape = ok and max(ratios) <= 8 * min(max(ratios[0], 0.2), 10)
+    return Experiment(
+        exp_id="T-12",
+        claim="implicit -> explicit conversion in O(m/n + Δ/log n + log n) rounds",
+        headers=["workload", "m", "Δ", "conversion rounds",
+                 "m/n+Δ/log n+log n", "ratio", "explicit"],
+        rows=rows,
+        shape_holds=shape,
+        notes="Conversion = one Theorem-8 token collection (every implicit "
+        "edge holder introduces itself); ratios to the bound stay O(1)-ish "
+        "across m and Δ sweeps, and explicitness is audited at the "
+        "knowledge level.",
+    )
+
+
+def test_thm12_explicit_degree(benchmark):
+    def run():
+        return measure(regular_sequence(64, 8), seed=19)[0]
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    exp = experiment()
+    assert exp.shape_holds, exp.render()

@@ -1,0 +1,75 @@
+"""T-17: NCC1 implicit connectivity realization in Õ(1), <= 2x OPT edges."""
+
+from common import Experiment, flat_or_decreasing, log2n, make_ncc1
+from repro.core.connectivity import realize_connectivity_ncc1
+from repro.validation import check_connectivity_thresholds
+from repro.workloads import bimodal_rho, power_law_rho, uniform_rho
+
+
+def measure(n, values, seed=26, validate=True):
+    net = make_ncc1(n, seed=seed)
+    rho = dict(zip(net.node_ids, values))
+    result = realize_connectivity_ncc1(net, rho)
+    valid = True
+    if validate:
+        valid = check_connectivity_thresholds(result.edges, rho, list(net.node_ids))
+    return result, valid
+
+
+def experiment() -> Experiment:
+    rows = []
+    ok = True
+    ratios = []
+    # n sweep at fixed demands: rounds must be O(log n)-flat ("Õ(1)").
+    per_log = []
+    for n in (16, 64, 256, 1024):
+        result, valid = measure(n, uniform_rho(n, 3), validate=(n <= 64))
+        ok &= valid
+        per_log.append(result.stats.rounds / log2n(n))
+        ratios.append(result.approximation_ratio)
+        rows.append([f"uniform ρ=3, n={n}", result.stats.rounds,
+                     f"{result.stats.rounds / log2n(n):.2f}",
+                     result.num_edges, result.lower_bound_edges,
+                     f"{result.approximation_ratio:.2f}", valid])
+    # Demand sweep at fixed n: rounds independent of ρ.
+    for value in (1, 6, 12):
+        result, valid = measure(32, uniform_rho(32, value))
+        ok &= valid and result.approximation_ratio <= 2.0 + 1e-9
+        rows.append([f"uniform ρ={value}, n=32", result.stats.rounds,
+                     f"{result.stats.rounds / log2n(32):.2f}",
+                     result.num_edges, result.lower_bound_edges,
+                     f"{result.approximation_ratio:.2f}", valid])
+    for label, values in (
+        ("bimodal 6/1, n=32", bimodal_rho(32, 6, 1)),
+        ("power-law max 8, n=32", power_law_rho(32, 8, seed=3)),
+    ):
+        result, valid = measure(32, values)
+        ok &= valid and result.approximation_ratio <= 2.0 + 1e-9
+        rows.append([label, result.stats.rounds,
+                     f"{result.stats.rounds / log2n(32):.2f}",
+                     result.num_edges, result.lower_bound_edges,
+                     f"{result.approximation_ratio:.2f}", valid])
+    shape = ok and flat_or_decreasing(per_log) and max(ratios) <= 2.0 + 1e-9
+    return Experiment(
+        exp_id="T-17",
+        claim="NCC1 implicit connectivity realization: Õ(1) rounds, "
+        "edges <= 2 * optimal",
+        headers=["workload", "rounds", "rounds/log2(n)", "edges",
+                 "edge LB ⌈Σρ/2⌉", "ratio", "thresholds hold"],
+        rows=rows,
+        shape_holds=shape,
+        notes="Rounds = one aggregation + one broadcast (independent of ρ); "
+        "edge ratio never exceeds 2 and pairwise max-flow validates every "
+        "threshold (validation limited to n<=64 for runtime).",
+    )
+
+
+def test_thm17_connectivity_ncc1(benchmark):
+    def run():
+        result, _ = measure(256, uniform_rho(256, 4), seed=27, validate=False)
+        return result.stats.rounds
+
+    rounds = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert rounds <= 8 * log2n(256)
+    exp = experiment()
+    assert exp.shape_holds, exp.render()

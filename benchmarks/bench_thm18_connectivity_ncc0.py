@@ -1,0 +1,69 @@
+"""T-18: NCC0 explicit connectivity realization in Õ(Δ), <= 2x OPT edges."""
+
+from common import Experiment, log2n, make_net
+from repro.core.connectivity import realize_connectivity_ncc0
+from repro.validation import check_connectivity_thresholds, check_explicit
+from repro.workloads import bimodal_rho, power_law_rho, uniform_rho
+
+
+def measure(n, values, seed=28, validate=True):
+    net = make_net(n, seed=seed)
+    rho = dict(zip(net.node_ids, values))
+    result = realize_connectivity_ncc0(net, rho, sort_fidelity="charged")
+    valid = check_explicit(net)
+    if validate:
+        valid &= check_connectivity_thresholds(result.edges, rho, list(net.node_ids))
+    return result, valid
+
+
+def experiment() -> Experiment:
+    rows = []
+    ok = True
+    # Δ sweep at fixed n: rounds should grow ~linearly with Δ = max ρ.
+    delta_rounds = {}
+    for delta in (2, 4, 8, 16):
+        result, valid = measure(48, uniform_rho(48, delta))
+        ok &= valid and result.approximation_ratio <= 2.0 + 1e-9
+        bound = delta * log2n(48) ** 3  # Õ(Δ) envelope
+        delta_rounds[delta] = result.stats.rounds
+        rows.append([f"uniform ρ=Δ={delta}, n=48", result.stats.rounds,
+                     f"{result.stats.rounds / (delta + log2n(48)):.1f}",
+                     result.num_edges, f"{result.approximation_ratio:.2f}", valid])
+    # n sweep at fixed Δ.
+    for n in (24, 48, 96):
+        result, valid = measure(n, bimodal_rho(n, 6, 2), validate=(n <= 48))
+        ok &= valid and result.approximation_ratio <= 2.0 + 1e-9
+        rows.append([f"bimodal 6/2, n={n}", result.stats.rounds,
+                     f"{result.stats.rounds / (6 + log2n(n)):.1f}",
+                     result.num_edges, f"{result.approximation_ratio:.2f}", valid])
+    result, valid = measure(32, power_law_rho(32, 8, seed=4))
+    ok &= valid
+    rows.append(["power-law max 8, n=32", result.stats.rounds,
+                 f"{result.stats.rounds / (8 + log2n(32)):.1f}",
+                 result.num_edges, f"{result.approximation_ratio:.2f}", valid])
+    # Shape: doubling Δ must not blow up super-linearly (allow polylog slack).
+    growth = delta_rounds[16] / max(1, delta_rounds[2])
+    shape = ok and growth <= (16 / 2) * 2.0
+    return Experiment(
+        exp_id="T-18",
+        claim="NCC0 explicit connectivity realization (Algorithm 6): "
+        "Õ(Δ) rounds, edges <= 2 * optimal, fully explicit",
+        headers=["workload", "rounds", "rounds/(Δ+log n)", "edges",
+                 "ratio", "valid"],
+        rows=rows,
+        shape_holds=shape,
+        notes="Phase 1 = envelope realization on the top d0+1 nodes; "
+        "phase 2 = pipelined predecessor flood (Δ-length chains dominate). "
+        "Round growth in Δ is ~linear; every run is max-flow validated "
+        "(n<=48) and knowledge-level explicit.",
+    )
+
+
+def test_thm18_connectivity_ncc0(benchmark):
+    def run():
+        result, _ = measure(64, uniform_rho(64, 6), seed=29, validate=False)
+        return result.stats.rounds
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    exp = experiment()
+    assert exp.shape_holds, exp.render()

@@ -1,0 +1,14 @@
+"""Benchmark harness plumbing.
+
+Each ``bench_*.py`` module exposes ``experiment()`` returning an
+:class:`common.Experiment` (headers + rows + a shape verdict); the pytest
+benchmarks time one representative configuration and assert the verdict,
+while ``run_experiments.py`` executes every module's full sweep and
+renders EXPERIMENTS.md.
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(__file__))
+sys.setrecursionlimit(200_000)

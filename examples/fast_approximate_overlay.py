@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Constant-phase overlay bootstrap via approximate degree realization.
+
+When a swarm needs an overlay *now* — e.g. flash-crowd joins during a
+live event — waiting for Algorithm 3's min{√m, Δ} sorted phases may be
+too slow.  The paper's contributions list promises an Õ(1)-round
+*approximate* realization; this example runs our reconstruction (shared
+pseudorandom stub pairing + rendezvous resolution, `repro.core.approximate`)
+and shows the trade-off:
+
+* one sort + three collection phases, regardless of Δ;
+* every link known to BOTH endpoints immediately (explicit);
+* a small degree shortfall (birthday collisions), removed geometrically
+  by optional repair passes.
+
+Run:  python examples/fast_approximate_overlay.py
+"""
+
+from repro import NCCConfig, Network
+from repro.core import approximate_degree_realization, realize_degree_sequence
+from repro.validation import check_explicit
+from repro.workloads import regular_sequence
+
+
+def main() -> None:
+    n, degree = 64, 8
+    seq = regular_sequence(n, degree)
+
+    # Exact realization (Algorithm 3) as the reference point.
+    net_exact = Network(n, NCCConfig(seed=3))
+    exact = realize_degree_sequence(
+        net_exact, dict(zip(net_exact.node_ids, seq)), sort_fidelity="charged"
+    )
+    assert exact.realized
+    print(f"exact (Alg 3):   {exact.stats.rounds:>6} rounds, "
+          f"{exact.phases} phases, error 0")
+
+    # Approximate one-shot, then with repair passes.
+    for repairs in (0, 2):
+        net = Network(n, NCCConfig(seed=3))
+        approx = approximate_degree_realization(
+            net, dict(zip(net.node_ids, seq)),
+            sort_fidelity="charged", repair_rounds=repairs,
+        )
+        assert check_explicit(net), "stub pairs introduce both endpoints"
+        shortfall = approx.l1_error
+        print(f"approx +{repairs} rep.: {approx.stats.rounds:>6} rounds, "
+              f"1+{repairs} shots, L1 shortfall {shortfall} "
+              f"({approx.relative_error:.1%} of demand)")
+
+    print("\ntrade-off: the approximate overlay is explicit immediately and "
+          "avoids the per-phase loop;")
+    print("repair passes buy accuracy one constant-phase pass at a time.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Fault-tolerant backbone via connectivity-threshold realization (§6).
+
+A content-distribution network wants per-node survivability guarantees:
+origin servers must stay reachable through 4 edge-disjoint paths, cache
+relays through 2, edge boxes through 1.  We realize the thresholds twice:
+
+* in NCC1 (all addresses known — e.g. a tracker supplied the peer list)
+  with the Õ(1) implicit algorithm of Theorem 17, and
+* in NCC0 (each box initially knows a single neighbour) with the Õ(Δ)
+  explicit Algorithm 6 of Theorem 18,
+
+then *prove* the guarantee by computing max-flow between every pair and
+by deleting edges around an origin server.
+
+Run:  python examples/resilient_backbone.py
+"""
+
+import random
+
+import networkx as nx
+
+from repro import NCCConfig, Network, Variant
+from repro.core.connectivity import (
+    connectivity_lower_bound,
+    realize_connectivity_ncc0,
+    realize_connectivity_ncc1,
+)
+from repro.validation import check_connectivity_thresholds, check_explicit
+
+
+def demands(net: Network):
+    ids = list(net.node_ids)
+    rho = {}
+    for i, v in enumerate(ids):
+        if i < 3:
+            rho[v] = 4  # origin servers
+        elif i < 10:
+            rho[v] = 2  # cache relays
+        else:
+            rho[v] = 1  # edge boxes
+    return rho
+
+
+def main() -> None:
+    n = 24
+
+    # --- NCC1: implicit, constant-ish rounds -------------------------
+    net1 = Network(n, NCCConfig(seed=11, variant=Variant.NCC1, random_ids=False))
+    rho = demands(net1)
+    res1 = realize_connectivity_ncc1(net1, rho)
+    ok1 = check_connectivity_thresholds(res1.edges, rho, net1.node_ids)
+    print(f"NCC1 implicit: {res1.num_edges} edges "
+          f"(lower bound {res1.lower_bound_edges}, "
+          f"ratio {res1.approximation_ratio:.2f} <= 2), "
+          f"{res1.stats.rounds} rounds, thresholds hold: {ok1}")
+    assert ok1 and res1.approximation_ratio <= 2.0
+
+    # --- NCC0: explicit, Õ(Δ) ----------------------------------------
+    net0 = Network(n, NCCConfig(seed=12))
+    rho0 = demands(net0)
+    res0 = realize_connectivity_ncc0(net0, rho0)
+    ok0 = check_connectivity_thresholds(res0.edges, rho0, net0.node_ids)
+    print(f"NCC0 explicit: {res0.num_edges} edges "
+          f"(ratio {res0.approximation_ratio:.2f} <= 2), "
+          f"{res0.stats.rounds} rounds, thresholds hold: {ok0}, "
+          f"explicit: {check_explicit(net0)}")
+    assert ok0 and res0.approximation_ratio <= 2.0 and check_explicit(net0)
+
+    # --- Survivability drill: cut 3 links around an origin -----------
+    graph = nx.Graph(res0.edges)
+    graph.add_nodes_from(net0.node_ids)
+    origin = [v for v, r in rho0.items() if r == 4][0]
+    relay = [v for v, r in rho0.items() if r == 2][0]
+    rng = random.Random(0)
+    incident = list(graph.edges(origin))
+    for edge in rng.sample(incident, 3):
+        graph.remove_edge(*edge)
+    still = nx.has_path(graph, origin, relay)
+    print(f"after deleting 3 of {len(incident)} links at an origin: "
+          f"origin->relay reachable: {still}")
+    assert still, "4-edge-connectivity must survive 3 edge faults"
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,199 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Small, dependency-free front door for trying the realizers without
+writing a script:
+
+* ``info --n 64`` — show the NCC model parameters for an n-node network;
+* ``realize --degrees 3,3,2,2,2 [--explicit] [--envelope]`` — degree
+  sequence realization (Algorithm 3 / Theorems 11-13);
+* ``tree --degrees 3,2,2,1,1,1 [--variant min|max]`` — tree realization
+  (Algorithms 4/5);
+* ``connectivity --rho 3,2,2,1,1 [--model ncc0|ncc1]`` — connectivity
+  thresholds (Theorems 17/18);
+* ``approx --degrees 4,4,4,4,4,4 [--repairs 2]`` — the Õ(1) approximate
+  realizer.
+
+Every command prints the verdict, edge count, and round/message costs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Dict, List
+
+from repro.ncc.config import NCCConfig, Variant
+from repro.ncc.network import Network
+
+
+def _parse_ints(text: str) -> List[int]:
+    try:
+        return [int(x) for x in text.replace(" ", "").split(",") if x != ""]
+    except ValueError:
+        raise SystemExit(f"could not parse integer list: {text!r}")
+
+
+def _make_net(n: int, args, ncc1: bool = False) -> Network:
+    config = NCCConfig(
+        seed=args.seed,
+        variant=Variant.NCC1 if ncc1 else Variant.NCC0,
+        random_ids=not ncc1,
+    )
+    return Network(n, config)
+
+
+def _report(net: Network, prefix: str) -> None:
+    stats = net.stats()
+    print(f"{prefix}: {stats.rounds} rounds "
+          f"({stats.simulated_rounds} simulated + {stats.charged_rounds} charged), "
+          f"{stats.messages} messages")
+    per_phase = stats.phase_rounds()
+    if per_phase:
+        breakdown = ", ".join(f"{k}={v}" for k, v in sorted(per_phase.items()))
+        print(f"  phase breakdown: {breakdown}")
+
+
+def cmd_info(args) -> int:
+    net = _make_net(args.n, args)
+    print(f"NCC0 network, n={args.n}")
+    print(f"  ID space: [1, {net.ids.universe}]")
+    print(f"  per-round caps: send {net.send_cap}, receive {net.recv_cap}")
+    print(f"  message budget: {net.config.max_words} words of {net.word_bits} bits")
+    print(f"  initial knowledge: directed path Gk")
+    return 0
+
+
+def cmd_realize(args) -> int:
+    from repro.core.degree_realization import realize_degree_sequence
+    from repro.core.envelope import realize_envelope
+    from repro.core.explicit import realize_degree_sequence_explicit
+
+    degrees = _parse_ints(args.degrees)
+    net = _make_net(len(degrees), args)
+    demands = dict(zip(net.node_ids, degrees))
+    fidelity = "charged" if args.fast else "full"
+    if args.envelope:
+        result = realize_envelope(net, demands, sort_fidelity=fidelity)
+    elif args.explicit:
+        result = realize_degree_sequence_explicit(net, demands, sort_fidelity=fidelity)
+    else:
+        result = realize_degree_sequence(net, demands, sort_fidelity=fidelity)
+    if result.realized:
+        print(f"REALIZED: {result.num_edges} edges in {result.phases} phases"
+              f" ({'explicit' if result.explicit else 'implicit'})")
+    else:
+        print(f"UNREALIZABLE (announced by {len(result.announced_unrealizable_by)}"
+              f" node(s))")
+    _report(net, "cost")
+    return 0 if result.realized or args.envelope else 1
+
+
+def cmd_tree(args) -> int:
+    from repro.core.tree_realization import realize_tree
+
+    degrees = _parse_ints(args.degrees)
+    net = _make_net(len(degrees), args)
+    variant = "min_diameter" if args.variant == "min" else "max_diameter"
+    result = realize_tree(
+        net, dict(zip(net.node_ids, degrees)), variant=variant,
+        sort_fidelity="charged" if args.fast else "full",
+    )
+    if result.realized:
+        print(f"REALIZED tree: {result.num_edges} edges, diameter {result.diameter}"
+              f" ({variant})")
+    else:
+        print("UNREALIZABLE as a tree (need sum d = 2(n-1), all d >= 1)")
+    _report(net, "cost")
+    return 0 if result.realized else 1
+
+
+def cmd_connectivity(args) -> int:
+    from repro.core.connectivity import (
+        realize_connectivity_ncc0,
+        realize_connectivity_ncc1,
+    )
+
+    rho_values = _parse_ints(args.rho)
+    ncc1 = args.model == "ncc1"
+    net = _make_net(len(rho_values), args, ncc1=ncc1)
+    rho = dict(zip(net.node_ids, rho_values))
+    if ncc1:
+        result = realize_connectivity_ncc1(net, rho)
+    else:
+        result = realize_connectivity_ncc0(
+            net, rho, sort_fidelity="charged" if args.fast else "full"
+        )
+    print(f"REALIZED: {result.num_edges} edges "
+          f"(lower bound {result.lower_bound_edges}, "
+          f"ratio {result.approximation_ratio:.2f} <= 2, "
+          f"{'explicit' if result.explicit else 'implicit'})")
+    _report(net, "cost")
+    return 0
+
+
+def cmd_approx(args) -> int:
+    from repro.core.approximate import approximate_degree_realization
+
+    degrees = _parse_ints(args.degrees)
+    net = _make_net(len(degrees), args)
+    result = approximate_degree_realization(
+        net, dict(zip(net.node_ids, degrees)),
+        sort_fidelity="charged" if args.fast else "full",
+        repair_rounds=args.repairs,
+    )
+    print(f"APPROXIMATED: {result.num_edges} edges, "
+          f"L1 shortfall {result.l1_error} "
+          f"({result.relative_error:.1%} of demand), "
+          f"{result.self_pairs} self-pairs, "
+          f"{result.duplicate_pairs} duplicate pairs dropped")
+    _report(net, "cost")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Distributed Graph Realizations (IPDPS 2020) — CLI",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="simulation seed")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("info", help="show NCC model parameters")
+    p.add_argument("--n", type=int, default=64)
+    p.set_defaults(fn=cmd_info)
+
+    p = sub.add_parser("realize", help="degree-sequence realization")
+    p.add_argument("--degrees", required=True, help="comma-separated degrees")
+    p.add_argument("--explicit", action="store_true")
+    p.add_argument("--envelope", action="store_true")
+    p.add_argument("--fast", action="store_true", help="charged-mode sorting")
+    p.set_defaults(fn=cmd_realize)
+
+    p = sub.add_parser("tree", help="tree realization")
+    p.add_argument("--degrees", required=True)
+    p.add_argument("--variant", choices=("min", "max"), default="min")
+    p.add_argument("--fast", action="store_true")
+    p.set_defaults(fn=cmd_tree)
+
+    p = sub.add_parser("connectivity", help="connectivity thresholds")
+    p.add_argument("--rho", required=True, help="comma-separated thresholds")
+    p.add_argument("--model", choices=("ncc0", "ncc1"), default="ncc0")
+    p.add_argument("--fast", action="store_true")
+    p.set_defaults(fn=cmd_connectivity)
+
+    p = sub.add_parser("approx", help="Õ(1) approximate realization")
+    p.add_argument("--degrees", required=True)
+    p.add_argument("--repairs", type=int, default=0)
+    p.add_argument("--fast", action="store_true")
+    p.set_defaults(fn=cmd_approx)
+    return parser
+
+
+def main(argv=None) -> int:
+    sys.setrecursionlimit(200_000)
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,18 @@
+"""Analysis utilities for the benchmark harness: scaling fits and tables."""
+
+from repro.analysis.scaling import (
+    ScalingFit,
+    bound_ratios,
+    fit_power_law,
+    fit_polylog_ratio,
+)
+from repro.analysis.tables import format_table, series_summary
+
+__all__ = [
+    "ScalingFit",
+    "bound_ratios",
+    "fit_polylog_ratio",
+    "fit_power_law",
+    "format_table",
+    "series_summary",
+]

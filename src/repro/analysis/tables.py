@@ -1,0 +1,40 @@
+"""Plain-text table rendering for benches and EXPERIMENTS.md.
+
+No plotting dependencies: the harness prints the same rows/series a
+paper table would contain, in fixed-width text that drops straight into
+Markdown code fences.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence]) -> str:
+    """Render a fixed-width text table."""
+    cells = [[str(h) for h in headers]] + [[_fmt(c) for c in row] for row in rows]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+    lines = []
+    for idx, row in enumerate(cells):
+        line = "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row))
+        lines.append(line)
+        if idx == 0:
+            lines.append("  ".join("-" * widths[i] for i in range(len(headers))))
+    return "\n".join(lines)
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.3g}"
+    return str(value)
+
+
+def series_summary(label: str, xs: Sequence, ys: Sequence[float]) -> str:
+    """One-line series summary: label, endpoints, min/max."""
+    if not ys:
+        return f"{label}: (empty)"
+    return (
+        f"{label}: x={list(xs)[0]}..{list(xs)[-1]} "
+        f"y_first={ys[0]:.3g} y_last={ys[-1]:.3g} "
+        f"y_min={min(ys):.3g} y_max={max(ys):.3g}"
+    )

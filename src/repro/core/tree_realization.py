@@ -1,0 +1,249 @@
+"""Tree realizations (Section 5, Algorithms 4 and 5, Theorems 14 and 16).
+
+Both algorithms share a skeleton: sort by non-increasing degree, verify
+Harary's condition (``min d >= 1`` and ``sum d == 2(n-1)`` — correcting
+the paper's ``2(n-2)`` typo), compute prefix sums over the sorted path,
+then attach contiguous position ranges of children/leaves to each
+non-leaf in parallel:
+
+* **Algorithm 4** (max-diameter caterpillar): non-leaves form a spine
+  (edges between path-consecutive positions, known to both endpoints at
+  zero communication cost since path neighbours hold each other's IDs);
+  each spine node acquires ``d - 2`` leaves (``d - 1`` for the head) at
+  positions given by the prefix sums ``p_i = 2 + Σ_{j<i}(d_j - 2)``.
+* **Algorithm 5** (min-diameter greedy tree ``T_G`` of [30], Lemma 15):
+  each node adopts the next ``d - 1`` (``d`` for the root) parentless
+  nodes, via ``p_i = 2 + Σ_{j<i}(d_j - 1)``.
+
+A non-leaf reaches the *first* node of its (non-adjacent) range with a
+claim-based token collection (both sides derive the group id from the
+target position — Theorem 8's group-ID agreement device), and that node
+relays the ID rightward with a doubling range multicast.  All ranges are
+disjoint, so every group runs in parallel: ``O(log³ n)`` rounds in total,
+sort-dominated (Theorems 14/16).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.ncc.errors import ProtocolError
+from repro.ncc.network import Network
+from repro.core.result import (
+    TreeResult,
+    overlay_degrees,
+    overlay_edges,
+    record_edge,
+)
+from repro.primitives.bbst import build_indexed_path
+from repro.primitives.broadcast import global_aggregate, global_broadcast
+from repro.primitives.butterfly import ColGroup
+from repro.primitives.groups import token_collect
+from repro.primitives.prefix import prefix_sums
+from repro.primitives.protocol import Proto, fresh_ns, ns_state, run_protocol
+from repro.primitives.range_multicast import range_multicast
+from repro.primitives.sorting import distributed_sort
+
+
+def tree_realization_protocol(
+    net: Network,
+    degrees: Dict[int, int],
+    variant: str = "max_diameter",
+    sort_fidelity: str = "full",
+) -> Proto:
+    """Protocol: Algorithm 4 (``variant="max_diameter"``) or Algorithm 5
+    (``variant="min_diameter"``).
+
+    Returns ``{"realized": bool, "violators": [...]}``.
+    """
+    if variant not in ("max_diameter", "min_diameter"):
+        raise ValueError(f"unknown tree variant {variant!r}")
+    n = net.n
+    ns = fresh_ns("tr")
+    for v in net.node_ids:
+        ns_state(net, v, ns)["deg"] = degrees[v]
+
+    if n == 1:
+        return {"realized": degrees[net.node_ids[0]] == 0, "violators": []}
+
+    # Steps 1-3: sort, index, aggregate the realizability checks.
+    bound = n + 1
+
+    def sort_key(v: int) -> int:
+        return bound - ns_state(net, v, ns)["deg"]
+
+    srt_ns, order = yield from distributed_sort(
+        net, sort_key, fidelity=sort_fidelity
+    )
+    root = yield from build_indexed_path(net, srt_ns, order, order[0])
+
+    # One combined aggregation: S = sum d (<= n^2) and k = #{d > 1} (<= n)
+    # packed into one word; min-degree check rides as a flag.
+    enc = n * n + 1
+
+    def packed(v: int) -> int:
+        d = ns_state(net, v, ns)["deg"]
+        return (1 if d > 1 else 0) * enc + d
+
+    total = yield from global_aggregate(
+        net, srt_ns, order, root, leader=root,
+        value_of=packed, combine=lambda a, b: a + b,
+    )
+    k, degree_sum = total // enc, total % enc
+    dmin = yield from global_aggregate(
+        net, srt_ns, order, root, leader=root,
+        value_of=lambda v: ns_state(net, v, ns)["deg"], combine=min,
+    )
+    realizable = (degree_sum == 2 * (n - 1)) and dmin >= 1
+    yield from global_broadcast(
+        net, srt_ns, order, root, leader=root,
+        value=(1 if realizable else 0, k), key="tree_check",
+    )
+    if not realizable:
+        return {"realized": False, "violators": [root]}
+
+    # Step 4: prefix sums over the sorted path.
+    drop = 2 if variant == "max_diameter" else 1
+
+    def prefix_value(v: int) -> int:
+        state = ns_state(net, v, srt_ns)
+        d = ns_state(net, v, ns)["deg"]
+        if variant == "max_diameter" and state["pos"] >= k:
+            return 0
+        return d - drop
+
+    yield from prefix_sums(net, srt_ns, order, root, prefix_value, key="pfx")
+
+    # Step 5 (Algorithm 4 only): the spine — zero-cost explicit edges,
+    # since path neighbours already hold each other's IDs.
+    if variant == "max_diameter":
+        if k == 0:
+            # Only n == 2 reaches here: a single edge.
+            record_edge(net, order[0], order[1])
+            record_edge(net, order[1], order[0])
+            return {"realized": True, "violators": []}
+        for pos in range(min(k, n - 1)):
+            record_edge(net, order[pos], order[pos + 1])
+            record_edge(net, order[pos + 1], order[pos])
+
+    # Step 6: attach contiguous ranges.  Each source computes its range
+    # locally from (pos, prefix, degree, k); ranges are pairwise disjoint.
+    attach: List[Tuple[int, int, int]] = []  # (source, lo, hi) 0-based
+    for v in order:
+        state = ns_state(net, v, srt_ns)
+        pos = state["pos"]
+        d = ns_state(net, v, ns)["deg"]
+        i = pos + 1  # 1-based rank
+        lead = 0 if i == 1 else 1
+        p_i = 2 + state["pfx"]
+        if variant == "max_diameter":
+            if pos >= k:
+                continue
+            lo = k + p_i + lead - 1
+            hi = k + p_i + d - 3
+        else:
+            lo = p_i + lead - 1
+            hi = p_i + d - 2
+        if hi < lo:
+            continue
+        if lo < 0 or hi > n - 1:
+            raise ProtocolError(
+                f"tree attachment range [{lo},{hi}] out of bounds at rank {i}"
+            )
+        attach.append((v, lo, hi))
+
+    # 6a: claim-collected first contact (gid == first position).
+    groups = []
+    lo_node: Dict[int, int] = {}
+    for source, lo, hi in attach:
+        claimant = order[lo]
+        lo_node[lo] = claimant
+        groups.append(
+            ColGroup(
+                gid=lo,
+                tokens={source: ((source,), (hi,))},
+                dest=None,
+                claimant=claimant,
+            )
+        )
+    if groups:
+        results = yield from token_collect(net, srt_ns, groups)
+        # 6b: first nodes record their edge and relay rightward.
+        requests = []
+        for source, lo, hi in attach:
+            (token_ids, token_data), = results[lo]
+            first = lo_node[lo]
+            record_edge(net, first, token_ids[0])
+            if hi > lo:
+                requests.append((first, lo + 1, hi, ((token_ids[0],), ())))
+        if requests:
+            yield from range_multicast(net, srt_ns, requests, key="tree_tok")
+        for source, lo, hi in attach:
+            for pos in range(lo + 1, hi + 1):
+                v = order[pos]
+                token = ns_state(net, v, srt_ns).pop("tree_tok", None)
+                if token is None:
+                    raise ProtocolError(f"missing attachment token at pos {pos}")
+                record_edge(net, v, token[0][0])
+    return {"realized": True, "violators": []}
+
+
+def realize_tree(
+    net: Network,
+    degrees: Dict[int, int],
+    variant: str = "max_diameter",
+    sort_fidelity: str = "full",
+) -> TreeResult:
+    """Run Algorithm 4 or 5 and return a structured result.
+
+    ``variant="max_diameter"`` gives Theorem 14's caterpillar;
+    ``variant="min_diameter"`` gives Theorem 16's greedy tree ``T_G``.
+    """
+    outcome = run_protocol(
+        net,
+        tree_realization_protocol(
+            net, degrees, variant=variant, sort_fidelity=sort_fidelity
+        ),
+    )
+    edges = tuple(overlay_edges(net))
+    diameter: Optional[int] = None
+    if outcome["realized"] and net.n > 1 and edges:
+        diameter = _tree_diameter(edges, list(net.node_ids))
+    elif outcome["realized"]:
+        diameter = 0
+    return TreeResult(
+        realized=outcome["realized"],
+        announced_unrealizable_by=tuple(outcome["violators"]) if not outcome["realized"] else (),
+        edges=edges,
+        realized_degrees=overlay_degrees(net),
+        diameter=diameter,
+        stats=net.stats(),
+    )
+
+
+def _tree_diameter(edges: Sequence[Tuple[int, int]], nodes: Sequence[int]) -> int:
+    """Double-BFS diameter (orchestrator-side analysis)."""
+    from collections import deque
+
+    adjacency: Dict[int, List[int]] = {v: [] for v in nodes}
+    for u, v in edges:
+        adjacency[u].append(v)
+        adjacency[v].append(u)
+
+    def far(start: int) -> Tuple[int, int]:
+        dist = {start: 0}
+        queue = deque([start])
+        best, best_d = start, 0
+        while queue:
+            x = queue.popleft()
+            for y in adjacency[x]:
+                if y not in dist:
+                    dist[y] = dist[x] + 1
+                    if dist[y] > best_d:
+                        best, best_d = y, dist[y]
+                    queue.append(y)
+        return best, best_d
+
+    a, _ = far(nodes[0])
+    _, diameter = far(a)
+    return diameter

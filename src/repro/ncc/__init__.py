@@ -1,0 +1,61 @@
+"""The Node Capacitated Clique (NCC) model simulator.
+
+This subpackage is the substrate on which every algorithm in the
+reproduction runs.  It implements the synchronous message-passing model of
+Augustine et al. (SPAA'19) as refined by the paper under reproduction:
+
+* ``n`` nodes with unique IDs drawn from ``[1, n^c]``;
+* per round, a node may send and receive at most ``O(log n)`` messages of
+  ``O(log n)`` bits each;
+* a node may address a message to ``v`` only if it knows ``v``'s ID;
+* **NCC0**: initial knowledge is a sparse directed graph (the paper uses a
+  directed path ``Gk``); **NCC1**: all IDs are common knowledge.
+
+The simulator *enforces* all four constraints (see
+:class:`repro.ncc.network.Network`), so protocols physically cannot cheat,
+and it meters rounds / messages / bits so that round-complexity theorems
+become measurable quantities.
+"""
+
+from repro.ncc.config import EnforcementMode, NCCConfig, Variant
+from repro.ncc.errors import (
+    MessageTooLarge,
+    NCCError,
+    ProtocolError,
+    RecvCapExceeded,
+    SendCapExceeded,
+    UnknownRecipientError,
+    UnrealizableError,
+)
+from repro.ncc.ids import IdSpace
+from repro.ncc.knowledge import (
+    complete_knowledge,
+    cycle_knowledge,
+    path_knowledge,
+    random_tree_knowledge,
+)
+from repro.ncc.message import Message
+from repro.ncc.metrics import RoundStats
+from repro.ncc.network import Network, RoundPlan
+
+__all__ = [
+    "EnforcementMode",
+    "IdSpace",
+    "Message",
+    "MessageTooLarge",
+    "NCCConfig",
+    "NCCError",
+    "Network",
+    "ProtocolError",
+    "RecvCapExceeded",
+    "RoundPlan",
+    "RoundStats",
+    "SendCapExceeded",
+    "UnknownRecipientError",
+    "UnrealizableError",
+    "Variant",
+    "complete_knowledge",
+    "cycle_knowledge",
+    "path_knowledge",
+    "random_tree_knowledge",
+]

@@ -1,0 +1,76 @@
+"""Exception hierarchy for the NCC simulator.
+
+Every violation of the NCC model's resource constraints raises a dedicated
+exception so that test suites can assert *which* constraint a faulty
+protocol broke.  All exceptions derive from :class:`NCCError`.
+"""
+
+from __future__ import annotations
+
+
+class NCCError(Exception):
+    """Base class for all NCC simulator errors."""
+
+
+class UnknownRecipientError(NCCError):
+    """A node attempted to send a message to an ID it does not know.
+
+    In the NCC model a node can only address peers whose IDs it has learned
+    (its "IP addresses").  The simulator refuses such sends outright: this
+    is the constraint that makes NCC0 meaningfully harder than NCC1.
+    """
+
+    def __init__(self, src: int, dst: int) -> None:
+        super().__init__(f"node {src} tried to message unknown ID {dst}")
+        self.src = src
+        self.dst = dst
+
+
+class SendCapExceeded(NCCError):
+    """A node attempted to send more than its per-round message budget."""
+
+    def __init__(self, src: int, cap: int, attempted: int) -> None:
+        super().__init__(
+            f"node {src} attempted {attempted} sends in one round (cap {cap})"
+        )
+        self.src = src
+        self.cap = cap
+        self.attempted = attempted
+
+
+class RecvCapExceeded(NCCError):
+    """A node was addressed by more messages than its per-round budget.
+
+    Only raised in ``strict`` enforcement mode; in ``defer`` mode surplus
+    messages are queued and delivered in subsequent rounds (costing extra
+    rounds, as a real congested node would).
+    """
+
+    def __init__(self, dst: int, cap: int, attempted: int) -> None:
+        super().__init__(
+            f"node {dst} addressed by {attempted} messages in one round (cap {cap})"
+        )
+        self.dst = dst
+        self.cap = cap
+        self.attempted = attempted
+
+
+class MessageTooLarge(NCCError):
+    """A message exceeded the O(log n)-bit word budget."""
+
+    def __init__(self, words: int, max_words: int) -> None:
+        super().__init__(f"message of {words} words exceeds budget of {max_words}")
+        self.words = words
+        self.max_words = max_words
+
+
+class ProtocolError(NCCError):
+    """A protocol-internal invariant was violated (a bug, not a model issue)."""
+
+
+class UnrealizableError(NCCError):
+    """Raised by sequential oracles when an input admits no realization.
+
+    Distributed protocols do *not* raise this: per the paper's contract they
+    announce ``UNREALIZABLE`` through the network and return a verdict.
+    """

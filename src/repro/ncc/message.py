@@ -1,0 +1,83 @@
+"""Messages and their size accounting.
+
+An NCC message is ``O(log n)`` bits.  We account size in *words*: one word
+is enough bits to hold a node ID or an integer polynomial in ``n``.  A
+message consists of
+
+* ``kind`` — a short protocol tag (constant-size header, charged 0 words;
+  real implementations would pack it into the header byte);
+* ``ids`` — a tuple of node IDs carried by the message.  **This field is
+  special**: the simulator adds every ID in it to the receiver's knowledge
+  set, which is precisely how knowledge spreads in NCC;
+* ``data`` — a tuple of non-ID scalars (ints/floats/bools/short strings).
+
+The total word count of ``ids`` plus ``data`` must stay within
+``NCCConfig.max_words``.  Integers much larger than the ID universe consume
+multiple words, so a protocol cannot smuggle unbounded state in one
+message.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Tuple
+
+
+def _scalar_words(value: Any, word_bits: int) -> int:
+    """Number of words a scalar occupies under a ``word_bits`` word size."""
+    if isinstance(value, bool) or value is None:
+        return 1
+    if isinstance(value, int):
+        bits = max(1, value.bit_length())
+        return max(1, math.ceil(bits / word_bits))
+    if isinstance(value, float):
+        return 1  # one machine word (doubles are O(1) words for any log n)
+    if isinstance(value, str):
+        # Short tags; 8 bits per char.
+        return max(1, math.ceil(len(value) * 8 / word_bits))
+    raise TypeError(
+        f"message payload values must be scalars, got {type(value).__name__}"
+    )
+
+
+@dataclass(frozen=True)
+class Message:
+    """One NCC message.
+
+    Attributes
+    ----------
+    kind:
+        Protocol tag, e.g. ``"invite"`` or ``"agg"``.
+    ids:
+        Node IDs carried in the payload; receivers learn these.
+    data:
+        Non-ID scalar payload.
+    src:
+        Filled in by the network at delivery time: the sender's ID.  The
+        receiver learns it (receiving a message always reveals the sender).
+    """
+
+    kind: str
+    ids: Tuple[int, ...] = ()
+    data: Tuple[Any, ...] = ()
+    src: int = -1
+
+    def words(self, word_bits: int) -> int:
+        """Size of this message in words for the given word width."""
+        total = len(self.ids)
+        for value in self.data:
+            total += _scalar_words(value, word_bits)
+        return total
+
+    def with_src(self, src: int) -> "Message":
+        """Copy of this message stamped with its sender (delivery step)."""
+        return Message(kind=self.kind, ids=self.ids, data=self.data, src=src)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Message({self.kind!r}, ids={self.ids}, data={self.data}, src={self.src})"
+
+
+def msg(kind: str, *, ids: Tuple[int, ...] = (), data: Tuple[Any, ...] = ()) -> Message:
+    """Terse constructor used throughout protocol code."""
+    return Message(kind=kind, ids=tuple(ids), data=tuple(data))

@@ -1,0 +1,306 @@
+"""The NCC network: the single chokepoint for all inter-node communication.
+
+Protocol code in this repository is *orchestrated* — a Python scheduler
+iterates over nodes and decides, from each node's local memory, what it
+sends this round.  Honesty does not rest on that convention: it rests on
+:meth:`Network.deliver`, through which every message must pass and which
+enforces the model:
+
+1. **Knowledge gating** — a send to an ID the sender does not know raises
+   :class:`~repro.ncc.errors.UnknownRecipientError`;
+2. **Send caps** — more than ``O(log n)`` sends by one node in one round
+   raises :class:`~repro.ncc.errors.SendCapExceeded`;
+3. **Receive caps** — more than ``O(log n)`` deliveries to one node in one
+   round raises :class:`~repro.ncc.errors.RecvCapExceeded` (strict mode) or
+   spills into later rounds (defer mode);
+4. **Message size** — payloads above the word budget raise
+   :class:`~repro.ncc.errors.MessageTooLarge`.
+
+The network also meters rounds, messages and words so round-complexity
+theorems are measurable, and supports *charged* rounds: a validated
+primitive may compute its result directly and charge its known round cost
+(``fidelity="charged"``), which the metrics report separately.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from collections import defaultdict, deque
+from contextlib import contextmanager
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.ncc.config import DEFAULT_CONFIG, EnforcementMode, NCCConfig, Variant
+from repro.ncc.errors import (
+    MessageTooLarge,
+    ProtocolError,
+    RecvCapExceeded,
+    SendCapExceeded,
+    UnknownRecipientError,
+)
+from repro.ncc.ids import IdSpace
+from repro.ncc.knowledge import KnowledgeGraph, knowledge_for_variant
+from repro.ncc.message import Message
+from repro.ncc.metrics import PhaseRecord, RoundStats
+
+
+class RoundPlan:
+    """The set of sends all nodes issue in one synchronous round."""
+
+    __slots__ = ("_sends",)
+
+    def __init__(self) -> None:
+        self._sends: List[Tuple[int, int, Message]] = []
+
+    def send(self, src: int, dst: int, message: Message) -> None:
+        """Schedule ``message`` from ``src`` to ``dst`` for this round."""
+        self._sends.append((src, dst, message))
+
+    def extend(self, other: "RoundPlan") -> None:
+        """Merge another plan's sends into this one."""
+        self._sends.extend(other._sends)
+
+    def __len__(self) -> int:
+        return len(self._sends)
+
+    def __bool__(self) -> bool:
+        return bool(self._sends)
+
+
+Inboxes = Dict[int, List[Message]]
+
+
+class Network:
+    """A simulated ``n``-node NCC deployment.
+
+    Parameters
+    ----------
+    n:
+        Number of nodes.
+    config:
+        Model parameters; defaults to strict NCC0.
+    knowledge:
+        Initial knowledge graph; defaults to the paper's directed path over
+        simulator index order (NCC0) or complete knowledge (NCC1).
+
+    Attributes
+    ----------
+    ids:
+        The :class:`~repro.ncc.ids.IdSpace` (ID <-> index mapping).
+    mem:
+        ``dict[node_id, dict]`` — per-node local memory.  Protocols store
+        *all* node state here; nothing else persists between rounds.
+    rounds:
+        Total rounds elapsed (simulated + charged).
+    """
+
+    def __init__(
+        self,
+        n: int,
+        config: NCCConfig = DEFAULT_CONFIG,
+        knowledge: Optional[KnowledgeGraph] = None,
+    ) -> None:
+        self.config = config
+        self.ids = IdSpace(
+            n,
+            exponent=config.id_space_exponent,
+            random_ids=config.random_ids,
+            seed=config.seed,
+        )
+        self.n = n
+        self.send_cap, self.recv_cap = config.cap_for(n)
+        self.word_bits = max(
+            8,
+            math.ceil(
+                config.word_value_bits_factor * math.log2(self.ids.universe + 1)
+            ),
+        )
+        if knowledge is None:
+            knowledge = knowledge_for_variant(self.ids.ids, config.variant)
+        self.known: Dict[int, set] = {
+            v: set(knowledge.get(v, ())) for v in self.ids.ids
+        }
+        self.mem: Dict[int, Dict[str, Any]] = {v: {} for v in self.ids.ids}
+        self.rng = random.Random(config.seed ^ 0x9E3779B9)
+
+        # Metrics.
+        self.rounds = 0
+        self.simulated_rounds = 0
+        self.charged_rounds = 0
+        self.messages_delivered = 0
+        self.words_delivered = 0
+        self.max_round_load = 0
+        self._phases: List[PhaseRecord] = []
+        self._phase_stack: List[Tuple[str, int, int]] = []
+        self.tracers: List[Callable[[int, Inboxes], None]] = []
+
+        # Deferred-delivery queues (EnforcementMode.DEFER).
+        self._deferred: Dict[int, deque] = defaultdict(deque)
+
+    # ------------------------------------------------------------------ #
+    # Topology / identity helpers                                        #
+    # ------------------------------------------------------------------ #
+
+    @property
+    def node_ids(self) -> Sequence[int]:
+        """All node IDs in simulator index order (== initial path order)."""
+        return self.ids.ids
+
+    def __len__(self) -> int:
+        return self.n
+
+    def knows(self, u: int, v: int) -> bool:
+        """Does ``u`` currently know ``v``'s ID?"""
+        return v in self.known[u]
+
+    def grant_knowledge(self, u: int, v: int) -> None:
+        """Teach ``u`` the ID ``v`` outside a message exchange.
+
+        Only charged-mode primitives may use this (they account for the
+        rounds the knowledge transfer would have cost); protocol code in
+        full-fidelity mode must spread knowledge through messages.
+        """
+        if v != u:
+            self.known[u].add(v)
+
+    # ------------------------------------------------------------------ #
+    # The round engine                                                   #
+    # ------------------------------------------------------------------ #
+
+    def plan(self) -> RoundPlan:
+        """Create an empty plan for the next round."""
+        return RoundPlan()
+
+    def deliver(self, plan: RoundPlan) -> Inboxes:
+        """Execute one synchronous round.
+
+        Validates every send, applies enforcement, updates knowledge sets,
+        advances the round counter, and returns the per-node inboxes.
+        Deferred messages from previous rounds (defer mode) are delivered
+        first, consuming receive budget.
+        """
+        per_sender: Dict[int, int] = defaultdict(int)
+        staged: Dict[int, List[Message]] = defaultdict(list)
+
+        for src, dst, message in plan._sends:
+            if src not in self.known:
+                raise ProtocolError(f"unknown sender ID {src}")
+            if dst == src:
+                raise ProtocolError(f"node {src} attempted a self-send")
+            if dst not in self.known[src]:
+                raise UnknownRecipientError(src, dst)
+            words = message.words(self.word_bits)
+            if words > self.config.max_words:
+                raise MessageTooLarge(words, self.config.max_words)
+            per_sender[src] += 1
+            if per_sender[src] > self.send_cap:
+                raise SendCapExceeded(src, self.send_cap, per_sender[src])
+            staged[dst].append(message.with_src(src))
+
+        inboxes: Inboxes = {}
+        mode = self.config.enforcement
+        receivers = set(staged)
+        receivers.update(v for v, q in self._deferred.items() if q)
+        for dst in receivers:
+            queue = self._deferred[dst]
+            queue.extend(staged.get(dst, ()))
+            arrivals = len(queue)
+            if mode is EnforcementMode.STRICT and arrivals > self.recv_cap:
+                raise RecvCapExceeded(dst, self.recv_cap, arrivals)
+            if mode is EnforcementMode.UNBOUNDED:
+                take = arrivals
+            else:
+                take = min(arrivals, self.recv_cap)
+            delivered = [queue.popleft() for _ in range(take)]
+            if delivered:
+                inboxes[dst] = delivered
+                for message in delivered:
+                    self.known[dst].add(message.src)
+                    for known_id in message.ids:
+                        if known_id != dst:
+                            self.known[dst].add(known_id)
+                    self.messages_delivered += 1
+                    self.words_delivered += message.words(self.word_bits)
+
+        self.rounds += 1
+        self.simulated_rounds += 1
+        load = max((len(v) for v in inboxes.values()), default=0)
+        self.max_round_load = max(self.max_round_load, load)
+        for tracer in self.tracers:
+            tracer(self.rounds, inboxes)
+        return inboxes
+
+    def step(self, sends: Iterable[Tuple[int, int, Message]]) -> Inboxes:
+        """Convenience: build a plan from ``(src, dst, msg)`` and deliver."""
+        plan = self.plan()
+        for src, dst, message in sends:
+            plan.send(src, dst, message)
+        return self.deliver(plan)
+
+    def idle_round(self) -> None:
+        """Advance one round with no sends (synchronisation barrier)."""
+        self.deliver(self.plan())
+
+    def pending_deferred(self) -> int:
+        """Messages still queued by defer-mode congestion."""
+        return sum(len(q) for q in self._deferred.values())
+
+    def drain(self, max_rounds: int = 1_000_000) -> int:
+        """Run empty rounds until all deferred messages are delivered."""
+        spent = 0
+        while self.pending_deferred() and spent < max_rounds:
+            self.deliver(self.plan())
+            spent += 1
+        return spent
+
+    # ------------------------------------------------------------------ #
+    # Charged rounds and phases                                          #
+    # ------------------------------------------------------------------ #
+
+    def charge(self, rounds: int, reason: str = "") -> None:
+        """Account ``rounds`` rounds for a charged-mode primitive."""
+        if rounds < 0:
+            raise ValueError(f"cannot charge negative rounds ({rounds})")
+        self.rounds += rounds
+        self.charged_rounds += rounds
+
+    @contextmanager
+    def phase(self, label: str):
+        """Label a span of rounds; metrics report per-phase breakdowns."""
+        self._phase_stack.append((label, self.rounds, self.messages_delivered))
+        try:
+            yield
+        finally:
+            start_label, start_rounds, start_msgs = self._phase_stack.pop()
+            self._phases.append(
+                PhaseRecord(
+                    label=start_label,
+                    rounds=self.rounds - start_rounds,
+                    messages=self.messages_delivered - start_msgs,
+                )
+            )
+
+    # ------------------------------------------------------------------ #
+    # Metrics                                                            #
+    # ------------------------------------------------------------------ #
+
+    def stats(self) -> RoundStats:
+        """Snapshot of all counters (rounds, messages, words, phases)."""
+        return RoundStats(
+            n=self.n,
+            rounds=self.rounds,
+            simulated_rounds=self.simulated_rounds,
+            charged_rounds=self.charged_rounds,
+            messages=self.messages_delivered,
+            words=self.words_delivered,
+            send_cap=self.send_cap,
+            recv_cap=self.recv_cap,
+            max_round_load=self.max_round_load,
+            phases=tuple(self._phases),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Network(n={self.n}, variant={self.config.variant.value}, "
+            f"rounds={self.rounds})"
+        )

@@ -1,0 +1,60 @@
+"""Distributed primitives of Section 3 (structural and computational).
+
+Everything here runs on :class:`repro.ncc.Network` through the generator
+scheduler in :mod:`repro.primitives.protocol`:
+
+* structural — path undirectification, the warm-up balanced binary tree
+  (Figure 1), the balanced binary *search* tree via structure 𝓛 and
+  controlled BFS (Theorem 1, Algorithm 1, Figure 2), inorder numbering /
+  positions / median (Corollary 2), and distributed mergesort
+  (Algorithm 2, Theorem 3);
+* computational — global broadcast/aggregation (Theorem 4), global
+  collection (Theorem 5), butterfly emulation, and the local group
+  primitives: aggregation, multicast, token collection (Theorems 6–8),
+  plus the position-range multicast used heavily by Sections 4–6.
+"""
+
+from repro.primitives.protocol import Fork, Scheduler, run_protocol
+from repro.primitives.path_ops import build_undirected_path
+from repro.primitives.binary_tree import build_warmup_binary_tree
+from repro.primitives.bbst import build_bbst
+from repro.primitives.traversal import (
+    annotate_positions,
+    broadcast_from_root,
+    compute_subtree_sizes,
+    find_median,
+)
+from repro.primitives.sorting import distributed_sort
+from repro.primitives.broadcast import global_aggregate, global_broadcast
+from repro.primitives.collection import global_collect
+from repro.primitives.range_multicast import range_multicast
+from repro.primitives.prefix import prefix_sums
+from repro.primitives.groups import (
+    local_aggregate,
+    local_multicast,
+    token_collect,
+)
+from repro.primitives.butterfly import ButterflyEmulation
+
+__all__ = [
+    "ButterflyEmulation",
+    "Fork",
+    "Scheduler",
+    "annotate_positions",
+    "broadcast_from_root",
+    "build_bbst",
+    "build_undirected_path",
+    "build_warmup_binary_tree",
+    "compute_subtree_sizes",
+    "distributed_sort",
+    "find_median",
+    "global_aggregate",
+    "global_broadcast",
+    "global_collect",
+    "local_aggregate",
+    "local_multicast",
+    "prefix_sums",
+    "range_multicast",
+    "run_protocol",
+    "token_collect",
+]

@@ -1,0 +1,229 @@
+"""Balanced binary search tree via structure 𝓛 + controlled BFS.
+
+Implements Section 3.1.1's main construction (Theorem 1, Algorithm 1,
+Figure 2):
+
+1. **Structure 𝓛** — ``⌈log n⌉ + 1`` levels of interleaved paths.  Level 0
+   is the undirected path; at level ``i`` every node links to the nodes at
+   distance ``2^i`` in the original order, learned in one round per level
+   by forwarding predecessor/successor IDs (grand-neighbour learning).
+2. **Controlled BFS** (Algorithm 1) — the path head ``r`` (the unique node
+   with no level-0 predecessor) seeds sets ``Sp``/``Ss``; sweeping levels
+   from top to bottom, ``Sp`` members invite their level-``i``
+   predecessors as left children and ``Ss`` members their level-``i``
+   successors as right children; invited nodes join, then themselves
+   enter ``Sp``/``Ss``.
+
+The result is a binary tree of height ≤ ``⌈log n⌉ + 1`` whose **inorder
+traversal is the original path order** — the property every later
+algorithm (positions, sorting, range multicast) relies on.
+
+The construction is generic over a *sub-path*: the mergesort builds BBSTs
+on runs by passing the run's members.  All state lives under the caller's
+namespace: level pointers ``lp{i}``/``ls{i}``, tree pointers ``parent`` /
+``left`` / ``right``, and the ``in_tree`` flag.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence
+
+from repro.ncc.errors import ProtocolError
+from repro.ncc.message import msg
+from repro.ncc.network import Network
+from repro.primitives.path_ops import build_undirected_path
+from repro.primitives.protocol import Proto, fresh_ns, ns_state, take, take_one
+
+
+def build_levels(net: Network, ns: str, members: Sequence[int]) -> Proto:
+    """Protocol: build structure 𝓛's level pointers over ``members``.
+
+    ``members`` must already form an undirected path in ``ns`` (keys
+    ``pred``/``succ``); it is orchestration bookkeeping only — all data
+    flows through messages.  Returns the number of levels built.
+    """
+    size = len(members)
+    levels = math.ceil(math.log2(size)) if size > 1 else 0
+    for v in members:
+        state = ns_state(net, v, ns)
+        state["lp0"] = state["pred"]
+        state["ls0"] = state["succ"]
+
+    for i in range(1, levels + 1):
+        prev_p, prev_s = f"lp{i - 1}", f"ls{i - 1}"
+        sends = []
+        for v in members:
+            state = ns_state(net, v, ns)
+            pred, succ = state[prev_p], state[prev_s]
+            if succ is not None:
+                payload = (pred,) if pred is not None else ()
+                sends.append((v, succ, msg(f"{ns}:l{i}p", ids=payload)))
+            if pred is not None:
+                payload = (succ,) if succ is not None else ()
+                sends.append((v, pred, msg(f"{ns}:l{i}s", ids=payload)))
+        inboxes = yield sends
+        for v in members:
+            state = ns_state(net, v, ns)
+            gp = take_one(inboxes, v, f"{ns}:l{i}p")
+            gs = take_one(inboxes, v, f"{ns}:l{i}s")
+            state[f"lp{i}"] = gp.ids[0] if gp and gp.ids else None
+            state[f"ls{i}"] = gs.ids[0] if gs and gs.ids else None
+    return levels
+
+
+def controlled_bfs(
+    net: Network, ns: str, members: Sequence[int], head: int, levels: int
+) -> Proto:
+    """Protocol: Algorithm 1 — turn structure 𝓛 into the BBST.
+
+    Returns the root (== ``head``).  Tree pointers are written to ``ns``.
+    """
+    for v in members:
+        state = ns_state(net, v, ns)
+        state["parent"] = None
+        state["left"] = None
+        state["right"] = None
+        state["in_tree"] = False
+        state["sp"] = False
+        state["ss"] = False
+
+    root_state = ns_state(net, head, ns)
+    root_state["in_tree"] = True
+    root_state["sp"] = True
+    root_state["ss"] = True
+
+    for i in range(levels - 1, -1, -1):
+        # Invitation round.
+        sends = []
+        for v in members:
+            state = ns_state(net, v, ns)
+            if state["sp"]:
+                pred_i = state.get(f"lp{i}")
+                if pred_i is not None:
+                    sends.append((v, pred_i, msg(f"{ns}:invL")))
+                    state["sp"] = False
+            if state["ss"]:
+                succ_i = state.get(f"ls{i}")
+                if succ_i is not None:
+                    sends.append((v, succ_i, msg(f"{ns}:invR")))
+                    state["ss"] = False
+        inboxes = yield sends
+
+        # Acceptance round.
+        sends = []
+        for v in members:
+            state = ns_state(net, v, ns)
+            if state["in_tree"]:
+                continue
+            invites = take(inboxes, v, f"{ns}:invL") + take(inboxes, v, f"{ns}:invR")
+            if not invites:
+                continue
+            chosen = invites[0]
+            side = "L" if chosen.kind.endswith("invL") else "R"
+            state["in_tree"] = True
+            state["parent"] = chosen.src
+            state["sp"] = True
+            state["ss"] = True
+            sends.append((v, chosen.src, msg(f"{ns}:acc", data=(side,))))
+        inboxes = yield sends
+
+        for v in members:
+            for accept in take(inboxes, v, f"{ns}:acc"):
+                state = ns_state(net, v, ns)
+                slot = "left" if accept.data[0] == "L" else "right"
+                if state[slot] is not None:
+                    raise ProtocolError(f"node {v} gained two {slot} children")
+                state[slot] = accept.src
+
+    missing = [v for v in members if not ns_state(net, v, ns)["in_tree"]]
+    if missing:
+        raise ProtocolError(
+            f"controlled BFS left {len(missing)} nodes out of the tree "
+            f"(first few: {missing[:5]})"
+        )
+    return head
+
+
+def build_bbst(
+    net: Network,
+    ns: Optional[str] = None,
+    members: Optional[Sequence[int]] = None,
+    head: Optional[int] = None,
+) -> Proto:
+    """Protocol: full BBST construction (Theorem 1).
+
+    Without arguments, bootstraps from the Gk path: undirectifies it,
+    builds 𝓛, runs the controlled BFS.  With ``members``/``head``, builds
+    on an existing undirected sub-path in ``ns``.
+
+    Returns ``(ns, root)``.
+    """
+    if ns is None:
+        ns = fresh_ns("bbst")
+    if members is None:
+        members = list(net.node_ids)
+        head = yield from build_undirected_path(net, ns)
+    if head is None:
+        raise ProtocolError("BBST build requires a non-empty path")
+    levels = yield from build_levels(net, ns, members)
+    root = yield from controlled_bfs(net, ns, members, head, levels)
+    return ns, root
+
+
+def build_indexed_path(
+    net: Network,
+    ns: str,
+    members: Sequence[int],
+    head: int,
+    publish_root: bool = False,
+) -> Proto:
+    """Protocol: full position machinery on an existing undirected path.
+
+    Runs, in order: structure 𝓛, the controlled BFS (BBST), subtree
+    sizes, and inorder position annotation — after which every member
+    knows its ``pos``, its subtree ``range``, the ``total`` length, and
+    (optionally, ``publish_root``) the root's ID under ``root_id``.
+
+    Returns the BBST root.  ``O(log n)`` rounds total (Theorem 1 +
+    Corollary 2).
+    """
+    from repro.primitives.traversal import (
+        annotate_positions,
+        broadcast_from_root,
+        compute_subtree_sizes,
+    )
+
+    levels = yield from build_levels(net, ns, members)
+    root = yield from controlled_bfs(net, ns, members, head, levels)
+    yield from compute_subtree_sizes(net, ns, members)
+    yield from annotate_positions(net, ns, members, root)
+    if publish_root:
+        yield from broadcast_from_root(
+            net, ns, members, root, key="root_pack", value=(), value_ids=(root,)
+        )
+        for v in members:
+            state = ns_state(net, v, ns)
+            state["root_id"] = state["root_pack"][0][0]
+    return root
+
+
+def level_paths(net: Network, ns: str, members: Sequence[int], level: int) -> List[List[int]]:
+    """Reconstruct the level-``level`` paths of 𝓛 (validation helper)."""
+    succ_key = f"ls{level}"
+    pred_key = f"lp{level}"
+    heads = [
+        v
+        for v in members
+        if ns_state(net, v, ns).get(pred_key) is None
+        and (succ_key in ns_state(net, v, ns) or level == 0)
+    ]
+    paths = []
+    for h in heads:
+        path = [h]
+        cursor = ns_state(net, h, ns).get(succ_key)
+        while cursor is not None:
+            path.append(cursor)
+            cursor = ns_state(net, cursor, ns).get(succ_key)
+        paths.append(path)
+    return paths

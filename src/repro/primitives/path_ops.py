@@ -1,0 +1,75 @@
+"""Path structure bootstrap (Section 3.1, first paragraph).
+
+The initial knowledge graph ``Gk`` is a *directed* path: each node knows
+its successor only.  In one round the path becomes undirected and ordered:
+every ``u`` messages its successor ``v``, which thereby learns ``u``'s ID
+and records ``u`` as predecessor.
+
+The resulting pointers are stored in a protocol namespace so later
+structures (runs, sub-paths, levels of 𝓛) can coexist: node ``v`` holds
+``mem[v][ns] = {"pred": id | None, "succ": id | None}``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.ncc.message import msg
+from repro.ncc.network import Network
+from repro.primitives.protocol import Proto, ns_state, take_one
+
+
+def build_undirected_path(
+    net: Network, ns: str, order: Optional[Sequence[int]] = None
+) -> Proto:
+    """Protocol: undirectify the initial path into namespace ``ns``.
+
+    Parameters
+    ----------
+    net:
+        The network; its simulator index order *is* the ``Gk`` order.
+    ns:
+        Namespace for the pred/succ pointers.
+    order:
+        Node IDs in path order.  Defaults to ``net.node_ids`` (the Gk
+        path).  When given (e.g. for sub-paths whose links already exist
+        in node knowledge), consecutive nodes must already know their
+        forward neighbour.
+
+    Returns
+    -------
+    The head node's ID (protocol result).
+    """
+    ids = list(order) if order is not None else list(net.node_ids)
+
+    sends = []
+    for u, v in zip(ids, ids[1:]):
+        state = ns_state(net, u, ns)
+        state["succ"] = v
+        sends.append((u, v, msg(f"{ns}:rev", ids=(u,))))
+    # Heads/tails get explicit None pointers.
+    for v in ids:
+        state = ns_state(net, v, ns)
+        state.setdefault("succ", None)
+        state.setdefault("pred", None)
+
+    inboxes = yield sends
+    for v in ids:
+        message = take_one(inboxes, v, f"{ns}:rev")
+        if message is not None:
+            ns_state(net, v, ns)["pred"] = message.src
+    return ids[0] if ids else None
+
+
+def path_members_from(net: Network, ns: str, head: int) -> List[int]:
+    """Walk ``succ`` pointers from ``head`` (validation helper, not a protocol)."""
+    out: List[int] = []
+    cursor: Optional[int] = head
+    seen = set()
+    while cursor is not None:
+        if cursor in seen:
+            raise ValueError(f"cycle in path namespace {ns!r} at {cursor}")
+        seen.add(cursor)
+        out.append(cursor)
+        cursor = ns_state(net, cursor, ns).get("succ")
+    return out

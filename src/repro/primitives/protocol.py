@@ -1,0 +1,231 @@
+"""Generator-based protocol engine with structured concurrency.
+
+Distributed protocols are written as Python generators.  Each ``yield``
+marks one synchronous NCC round:
+
+* yielding a **list of sends** ``[(src, dst, Message), ...]`` submits those
+  messages for the round and resumes, after delivery, with the round's
+  inbox dict ``{node_id: [Message, ...]}`` (shared by all concurrent
+  tasks — tasks look up only the nodes they drive);
+* yielding :class:`Fork` runs child generators **concurrently** with each
+  other and with every other active task; the parent resumes with the
+  list of child results once all children finish.  Forking does not by
+  itself consume a round — children start emitting sends in the very round
+  the parent forked;
+* sequential composition is plain ``yield from``.
+
+The :class:`Scheduler` trampolines all tasks: per iteration it advances
+every runnable task until each is parked on a round barrier, merges all
+their sends into one :class:`~repro.ncc.network.RoundPlan`, delivers it
+(**one** simulated round), and redistributes the inboxes.  Concurrent
+sub-protocols therefore *share* rounds, which is exactly what the paper's
+"in parallel" steps require for round counts to be meaningful.
+
+Message namespacing: concurrent protocol instances tag their message
+``kind`` as ``"<ns>:<tag>"`` and filter inboxes with :func:`take`.  The
+namespace plays the role of the constant-size protocol/group header the
+paper's primitives assume.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Generator,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from repro.ncc.errors import ProtocolError
+from repro.ncc.message import Message
+from repro.ncc.network import Network
+
+Send = Tuple[int, int, Message]
+Inboxes = Dict[int, List[Message]]
+Proto = Generator  # Generator[list[Send] | Fork, Inboxes | list, Any]
+
+
+@dataclass
+class Fork:
+    """Run ``children`` concurrently; parent resumes with their results."""
+
+    children: Sequence[Proto]
+
+
+class _Task:
+    """Scheduler-internal task record."""
+
+    __slots__ = (
+        "gen",
+        "status",
+        "resume_value",
+        "parent",
+        "pending_children",
+        "child_slot",
+        "result",
+    )
+
+    READY = 0
+    WAITING_ROUND = 1
+    BLOCKED = 2
+    DONE = 3
+
+    def __init__(self, gen: Proto, parent: Optional["_Task"], child_slot: int) -> None:
+        self.gen = gen
+        self.status = _Task.READY
+        self.resume_value: Any = None
+        self.parent = parent
+        self.pending_children = 0
+        self.child_slot = child_slot
+        self.result: Any = None
+
+
+class Scheduler:
+    """Trampoline for concurrent protocol generators on one network."""
+
+    def __init__(self, net: Network, max_rounds: int = 10_000_000) -> None:
+        self.net = net
+        self.max_rounds = max_rounds
+
+    def run(self, *gens: Proto) -> List[Any]:
+        """Run the given protocol generators to completion concurrently.
+
+        Returns their results in order.  Raises
+        :class:`~repro.ncc.errors.ProtocolError` on deadlock (no task can
+        advance but not all are done) or round-budget exhaustion.
+        """
+        roots = [_Task(g, parent=None, child_slot=i) for i, g in enumerate(gens)]
+        tasks: List[_Task] = list(roots)
+        ready: List[_Task] = list(roots)
+        waiting: List[_Task] = []
+        rounds_used = 0
+
+        def finish(task: _Task, value: Any) -> None:
+            task.status = _Task.DONE
+            task.result = value
+            parent = task.parent
+            if parent is not None:
+                parent.pending_children -= 1
+                if parent.pending_children == 0:
+                    results = parent.resume_value  # list being filled
+                    parent.resume_value = results
+                    parent.status = _Task.READY
+                    ready.append(parent)
+
+        while True:
+            # Advance every ready task to its next barrier.
+            pending_sends: List[Send] = []
+            while ready:
+                task = ready.pop()
+                if task.status != _Task.READY:
+                    continue
+                try:
+                    yielded = task.gen.send(task.resume_value)
+                except StopIteration as stop:
+                    value = stop.value
+                    if task.parent is not None:
+                        task.parent.resume_value[task.child_slot] = value
+                    finish(task, value)
+                    continue
+                task.resume_value = None
+                if isinstance(yielded, Fork):
+                    children = list(yielded.children)
+                    if not children:
+                        task.resume_value = []
+                        ready.append(task)
+                        continue
+                    task.status = _Task.BLOCKED
+                    task.pending_children = len(children)
+                    task.resume_value = [None] * len(children)
+                    for slot, child_gen in enumerate(children):
+                        child = _Task(child_gen, parent=task, child_slot=slot)
+                        tasks.append(child)
+                        ready.append(child)
+                elif isinstance(yielded, (list, tuple)):
+                    pending_sends.extend(yielded)
+                    task.status = _Task.WAITING_ROUND
+                    waiting.append(task)
+                else:
+                    raise ProtocolError(
+                        f"protocol yielded {type(yielded).__name__}; expected "
+                        "a list of sends or a Fork"
+                    )
+
+            if all(t.status == _Task.DONE for t in tasks):
+                break
+            if not waiting:
+                raise ProtocolError("protocol deadlock: no task can advance")
+
+            plan = self.net.plan()
+            for src, dst, message in pending_sends:
+                plan.send(src, dst, message)
+            inboxes = self.net.deliver(plan)
+            rounds_used += 1
+            if rounds_used > self.max_rounds:
+                raise ProtocolError(
+                    f"protocol exceeded round budget of {self.max_rounds}"
+                )
+            for task in waiting:
+                task.status = _Task.READY
+                task.resume_value = inboxes
+                ready.append(task)
+            waiting = []
+
+        return [t.result for t in roots]
+
+
+def run_protocol(net: Network, gen: Proto, max_rounds: int = 10_000_000) -> Any:
+    """Run a single protocol generator to completion and return its result."""
+    return Scheduler(net, max_rounds=max_rounds).run(gen)[0]
+
+
+# ---------------------------------------------------------------------- #
+# Helpers shared by protocol implementations                             #
+# ---------------------------------------------------------------------- #
+
+_ns_counter = itertools.count()
+
+
+def fresh_ns(prefix: str) -> str:
+    """A short unique namespace for one protocol instance's messages."""
+    return f"{prefix}{next(_ns_counter)}"
+
+
+def take(inboxes: Inboxes, node: int, kind: str) -> List[Message]:
+    """Messages of exactly ``kind`` delivered to ``node`` this round."""
+    return [m for m in inboxes.get(node, ()) if m.kind == kind]
+
+
+def take_one(inboxes: Inboxes, node: int, kind: str) -> Optional[Message]:
+    """The unique ``kind`` message at ``node`` this round, or ``None``.
+
+    Raises :class:`~repro.ncc.errors.ProtocolError` if more than one
+    arrives — useful to assert protocol invariants.
+    """
+    found = take(inboxes, node, kind)
+    if not found:
+        return None
+    if len(found) > 1:
+        raise ProtocolError(
+            f"node {node} expected at most one {kind!r}, got {len(found)}"
+        )
+    return found[0]
+
+
+def ns_state(net: Network, node: int, ns: str) -> Dict[str, Any]:
+    """The node-local state dict for protocol namespace ``ns``."""
+    return net.mem[node].setdefault(ns, {})
+
+
+def idle(rounds: int) -> Proto:
+    """A protocol that does nothing for ``rounds`` rounds (barrier filler)."""
+    for _ in range(rounds):
+        yield []
+    return None

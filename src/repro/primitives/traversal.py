@@ -1,0 +1,236 @@
+"""Generic tree protocols: sizes, inorder positions, median (Corollary 2).
+
+These operate on any tree namespace with ``parent``/``left``/``right``
+pointers (the BBST of Theorem 1 or the warm-up tree) and provide the
+position machinery of Corollary 2:
+
+* :func:`compute_subtree_sizes` — bottom-up convergecast; ``O(height)``
+  rounds; every node learns its own and its children's subtree sizes.
+* :func:`annotate_positions` — top-down pass assigning each node its
+  0-based **inorder position** (== position in the original path, since
+  the BBST's inorder traversal is the path) plus its subtree's position
+  range ``[lo, hi]`` and the total member count.
+* :func:`find_median` — the median-position node reports its ID up to the
+  root, which floods it back down; ``O(height)`` rounds (Corollary 2's
+  "median address becomes common knowledge").
+* :func:`broadcast_from_root` / :func:`report_to_root` — reusable
+  downward flood / upward escalation along tree edges.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+from repro.ncc.errors import ProtocolError
+from repro.ncc.message import msg
+from repro.ncc.network import Network
+from repro.primitives.protocol import Proto, ns_state, take, take_one
+
+
+def _children(net: Network, ns: str, v: int) -> List[int]:
+    state = ns_state(net, v, ns)
+    return [c for c in (state.get("left"), state.get("right")) if c is not None]
+
+
+def compute_subtree_sizes(net: Network, ns: str, members: Sequence[int]) -> Proto:
+    """Protocol: every node learns ``size`` (its subtree), ``lsize``, ``rsize``."""
+    pending = {}
+    ready: List[int] = []
+    for v in members:
+        state = ns_state(net, v, ns)
+        state["lsize"] = 0
+        state["rsize"] = 0
+        kids = _children(net, ns, v)
+        pending[v] = len(kids)
+        if not kids:
+            state["size"] = 1
+            ready.append(v)
+
+    reported = 0
+    guard = 0
+    while reported < len(members):
+        sends = []
+        for v in ready:
+            state = ns_state(net, v, ns)
+            parent = state.get("parent")
+            reported += 1
+            if parent is not None:
+                sends.append((v, parent, msg(f"{ns}:size", data=(state["size"],))))
+        ready = []
+        if reported >= len(members) and not sends:
+            break
+        inboxes = yield sends
+        for v in members:
+            for report in take(inboxes, v, f"{ns}:size"):
+                state = ns_state(net, v, ns)
+                (size,) = report.data
+                # The receiving parent tells sides apart by comparing the
+                # sender against its own child pointers (local knowledge).
+                if state.get("left") == report.src:
+                    state["lsize"] = size
+                else:
+                    state["rsize"] = size
+                pending[v] -= 1
+                if pending[v] == 0:
+                    state["size"] = 1 + state["lsize"] + state["rsize"]
+                    ready.append(v)
+        guard += 1
+        if guard > 4 * len(members) + 8:
+            raise ProtocolError("size convergecast failed to converge")
+    return None
+
+
+def annotate_positions(
+    net: Network, ns: str, members: Sequence[int], root: int
+) -> Proto:
+    """Protocol: assign 0-based inorder positions; requires sizes first.
+
+    After completion each node holds ``pos`` (its inorder position),
+    ``range`` == ``(lo, hi)`` (its subtree's position span, inclusive)
+    and ``total`` (member count).  ``O(height)`` rounds.
+    """
+    total = ns_state(net, root, ns).get("size")
+    if total is None:
+        raise ProtocolError("annotate_positions requires compute_subtree_sizes")
+
+    def settle(v: int, base: int) -> None:
+        state = ns_state(net, v, ns)
+        state["pos"] = base + state["lsize"]
+        state["range"] = (base, base + state["size"] - 1)
+        state["total"] = total
+
+    settle(root, 0)
+    frontier = [root]
+    while frontier:
+        sends = []
+        for v in frontier:
+            state = ns_state(net, v, ns)
+            base, _hi = state["range"]
+            left, right = state.get("left"), state.get("right")
+            if left is not None:
+                sends.append((v, left, msg(f"{ns}:base", data=(base, total))))
+            if right is not None:
+                sends.append(
+                    (v, right, msg(f"{ns}:base", data=(state["pos"] + 1, total)))
+                )
+        if not sends:
+            break
+        inboxes = yield sends
+        next_frontier = []
+        for v in members:
+            base_msg = take_one(inboxes, v, f"{ns}:base")
+            if base_msg is not None:
+                settle(v, base_msg.data[0])
+                next_frontier.append(v)
+        frontier = next_frontier
+    return total
+
+
+def broadcast_from_root(
+    net: Network,
+    ns: str,
+    members: Sequence[int],
+    root: int,
+    key: str,
+    value: Tuple,
+    value_ids: Tuple[int, ...] = (),
+) -> Proto:
+    """Protocol: flood ``(value_ids, value)`` from ``root`` down tree edges.
+
+    Every member ends with ``state[key] = (value_ids, value)``.
+    ``O(height)`` rounds.
+    """
+    ns_state(net, root, ns)[key] = (tuple(value_ids), tuple(value))
+    frontier = [root]
+    tag = f"{ns}:bc:{key}"
+    while frontier:
+        sends = []
+        for v in frontier:
+            ids_part, data_part = ns_state(net, v, ns)[key]
+            for child in _children(net, ns, v):
+                sends.append((v, child, msg(tag, ids=ids_part, data=data_part)))
+        if not sends:
+            break
+        inboxes = yield sends
+        frontier = []
+        for v in members:
+            hit = take_one(inboxes, v, tag)
+            if hit is not None:
+                ns_state(net, v, ns)[key] = (hit.ids, hit.data)
+                frontier.append(v)
+    return None
+
+
+def report_to_root(
+    net: Network,
+    ns: str,
+    members: Sequence[int],
+    root: int,
+    matches: Callable[[int], bool],
+    payload: Callable[[int], Tuple[Tuple[int, ...], Tuple]],
+) -> Proto:
+    """Protocol: the unique node matching ``matches`` escalates a payload
+    to the root along parent pointers.  Returns ``(ids, data)`` at root.
+
+    ``O(height)`` rounds; raises if zero or multiple nodes match.
+    """
+    sources = [v for v in members if matches(v)]
+    if len(sources) != 1:
+        raise ProtocolError(f"report_to_root expects 1 match, found {len(sources)}")
+    source = sources[0]
+    tag = f"{ns}:up"
+    ids_part, data_part = payload(source)
+    if source == root:
+        return ids_part, data_part
+    carrier = source
+    content = (ids_part, data_part)
+    guard = 0
+    while carrier != root:
+        parent = ns_state(net, carrier, ns).get("parent")
+        if parent is None:
+            raise ProtocolError(f"node {carrier} has no parent on path to root")
+        inboxes = yield [(carrier, parent, msg(tag, ids=content[0], data=content[1]))]
+        arrived = take_one(inboxes, parent, tag)
+        if arrived is None:
+            raise ProtocolError("escalation message lost")
+        carrier = parent
+        content = (arrived.ids, arrived.data)
+        guard += 1
+        if guard > len(members) + 2:
+            raise ProtocolError("escalation failed to reach root")
+    return content
+
+
+def find_median(net: Network, ns: str, members: Sequence[int], root: int) -> Proto:
+    """Protocol: make the median node's ID common knowledge (Corollary 2).
+
+    Requires sizes + positions.  Returns the median node's ID; every
+    member also stores it under ``median``.
+    """
+    total = ns_state(net, root, ns)["total"]
+    target = (total - 1) // 2
+
+    ids_part, _ = yield from report_to_root(
+        net,
+        ns,
+        members,
+        root,
+        matches=lambda v: ns_state(net, v, ns).get("pos") == target,
+        payload=lambda v: ((v,), ()),
+    )
+    median = ids_part[0]
+    yield from broadcast_from_root(
+        net, ns, members, root, key="median_pack", value=(), value_ids=(median,)
+    )
+    for v in members:
+        state = ns_state(net, v, ns)
+        state["median"] = state["median_pack"][0][0]
+    return median
+
+
+def node_at_position(net: Network, ns: str, members: Sequence[int], position: int) -> int:
+    """Orchestration helper (no rounds): member whose ``pos`` equals ``position``."""
+    for v in members:
+        if ns_state(net, v, ns).get("pos") == position:
+            return v
+    raise KeyError(f"no member at position {position}")

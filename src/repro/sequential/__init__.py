@@ -1,0 +1,44 @@
+"""Classical (centralized) baselines used as oracles and comparison points.
+
+The paper builds on a half-century of sequential graph-realization theory;
+this subpackage reimplements the pieces it relies on from scratch:
+
+* Erdős–Gallai graphicality characterization [10];
+* the constructive Havel–Hakimi algorithm [18, 20];
+* upper-envelope realization of non-graphic sequences (§4.3's baseline,
+  in the spirit of Hell–Kirkpatrick [21]);
+* tree realizability and the two canonical tree constructions: the
+  caterpillar (maximum diameter) and the greedy tree ``T_G`` of
+  Smith–Székely–Wang [30] (minimum diameter);
+* the Frank–Chou style centralized 2-approximation for connectivity
+  threshold realization [15].
+
+Distributed outputs are validated against these oracles in the test suite.
+"""
+
+from repro.sequential.erdos_gallai import erdos_gallai_check, is_graphic
+from repro.sequential.havel_hakimi import havel_hakimi
+from repro.sequential.envelope import sequential_envelope
+from repro.sequential.trees import (
+    greedy_tree,
+    is_tree_realizable,
+    max_diameter_tree,
+    min_tree_diameter_bruteforce,
+)
+from repro.sequential.connectivity import (
+    connectivity_lower_bound_edges,
+    frank_chou_realization,
+)
+
+__all__ = [
+    "connectivity_lower_bound_edges",
+    "erdos_gallai_check",
+    "frank_chou_realization",
+    "greedy_tree",
+    "havel_hakimi",
+    "is_graphic",
+    "is_tree_realizable",
+    "max_diameter_tree",
+    "min_tree_diameter_bruteforce",
+    "sequential_envelope",
+]

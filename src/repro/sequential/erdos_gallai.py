@@ -1,0 +1,60 @@
+"""Erdős–Gallai characterization of graphic sequences.
+
+A non-increasing sequence ``d_1 >= ... >= d_n`` of non-negative integers is
+*graphic* (realizable by a simple undirected graph) iff the degree sum is
+even and, for every ``k`` in ``[1, n]``::
+
+    sum_{i<=k} d_i  <=  k(k-1) + sum_{i>k} min(d_i, k)
+
+This module implements the check in O(n log n) (the sort dominates; the
+inequality sweep is O(n) using a two-pointer over the sorted tail).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def erdos_gallai_check(degrees: Sequence[int]) -> bool:
+    """Return True iff ``degrees`` is graphic (order irrelevant).
+
+    Raises ``ValueError`` on negative entries — a negative requirement is
+    malformed input, not merely unrealizable.
+    """
+    n = len(degrees)
+    if n == 0:
+        return True
+    if any(d < 0 for d in degrees):
+        raise ValueError("degrees must be non-negative")
+    if any(d > n - 1 for d in degrees):
+        return False
+    if sum(degrees) % 2 != 0:
+        return False
+
+    d = sorted(degrees, reverse=True)
+    suffix = [0] * (n + 1)
+    for i in range(n - 1, -1, -1):
+        suffix[i] = suffix[i + 1] + d[i]
+
+    prefix = 0
+    # sum_{i>k} min(d_i, k): for non-increasing d, min(d_i, k) == k exactly
+    # while d_i >= k; binary-search the boundary, use suffix sums past it.
+    for k in range(1, n + 1):
+        prefix += d[k - 1]
+        lo, hi = k, n
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if d[mid] >= k:
+                lo = mid + 1
+            else:
+                hi = mid
+        j = lo
+        tail = k * (j - k) + suffix[j]
+        if prefix > k * (k - 1) + tail:
+            return False
+    return True
+
+
+def is_graphic(degrees: Sequence[int]) -> bool:
+    """Alias of :func:`erdos_gallai_check` with a friendlier name."""
+    return erdos_gallai_check(degrees)

@@ -1,0 +1,90 @@
+"""The classical (sequential) Havel–Hakimi algorithm (§3.3 of the paper).
+
+Given a degree sequence, repeatedly satisfy a maximum-degree vertex ``v``
+by connecting it to the ``d(v)`` highest-degree remaining vertices.  The
+sequence is graphic iff the process completes with all degrees zero and no
+degree ever goes negative.
+
+The implementation keeps vertices in buckets by residual degree so each
+step costs O(d(v) + 1) amortized, for O(sum d_i) total — the bound the
+paper quotes.  Vertex labels are preserved so the output edges refer to
+the caller's indices.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Set, Tuple
+
+
+def havel_hakimi(degrees: Sequence[int]) -> Optional[List[Tuple[int, int]]]:
+    """Realize ``degrees`` as a simple graph, or return ``None``.
+
+    Parameters
+    ----------
+    degrees:
+        ``degrees[i]`` is the required degree of vertex ``i`` (any order).
+
+    Returns
+    -------
+    list of edges ``(i, j)`` with ``i < j`` realizing the sequence, or
+    ``None`` when the sequence is not graphic.
+
+    Raises
+    ------
+    ValueError
+        On negative entries.
+    """
+    n = len(degrees)
+    if any(d < 0 for d in degrees):
+        raise ValueError("degrees must be non-negative")
+    if n == 0:
+        return []
+    if any(d > n - 1 for d in degrees):
+        return None
+    if sum(degrees) % 2 != 0:
+        return None
+
+    # residual[i]: degree still required at vertex i.
+    residual = list(degrees)
+    # Vertices sorted by residual degree, non-increasing; re-sorted lazily.
+    order = sorted(range(n), key=lambda i: -residual[i])
+    edges: List[Tuple[int, int]] = []
+
+    while True:
+        order.sort(key=lambda i: -residual[i])
+        v = order[0]
+        dv = residual[v]
+        if dv == 0:
+            break
+        if dv > n - 1:
+            return None
+        # Connect v to the next dv highest-residual vertices.
+        targets = order[1 : dv + 1]
+        if len(targets) < dv:
+            return None
+        residual[v] = 0
+        for u in targets:
+            if residual[u] == 0:
+                return None  # would go negative: not graphic
+            residual[u] -= 1
+            edges.append((min(u, v), max(u, v)))
+
+    if any(r != 0 for r in residual):
+        return None
+    return edges
+
+
+def degree_sequence_of(edges: Sequence[Tuple[int, int]], n: int) -> List[int]:
+    """Degree sequence of an edge list over vertices ``0..n-1``."""
+    deg = [0] * n
+    seen: Set[Tuple[int, int]] = set()
+    for u, v in edges:
+        key = (min(u, v), max(u, v))
+        if u == v:
+            raise ValueError(f"self-loop at {u}")
+        if key in seen:
+            raise ValueError(f"duplicate edge {key}")
+        seen.add(key)
+        deg[u] += 1
+        deg[v] += 1
+    return deg

@@ -1,0 +1,32 @@
+"""Independent validation of realized overlays (networkx-backed).
+
+Every experiment's output graph is checked against the theorem it claims
+to reproduce: degree match, simplicity, local edge connectivity
+(max-flow), tree-ness, diameter, explicitness, approximation ratios.
+"""
+
+from repro.validation.overlay import (
+    overlay_graph,
+    check_explicit,
+    check_implicit,
+)
+from repro.validation.graph_checks import (
+    check_connectivity_thresholds,
+    check_degree_match,
+    check_simple,
+    check_tree,
+    diameter_of,
+    edge_connectivity_matrix,
+)
+
+__all__ = [
+    "check_connectivity_thresholds",
+    "check_degree_match",
+    "check_explicit",
+    "check_implicit",
+    "check_simple",
+    "check_tree",
+    "diameter_of",
+    "edge_connectivity_matrix",
+    "overlay_graph",
+]

@@ -1,0 +1,53 @@
+"""Instance generators for tests, examples and benchmarks.
+
+Families mirror the regimes the paper's analysis distinguishes:
+
+* degree sequences where ``Δ << √m`` (regular/low-degree — the Δ regime
+  of Theorem 11) and where ``√m << Δ`` (mass concentrated on few nodes —
+  the √m regime and Theorem 20's ``D*`` family);
+* tree-realizable sequences of varying shape (stars, paths, caterpillars,
+  balanced);
+* connectivity threshold vectors (uniform, bimodal, power-law).
+"""
+
+from repro.workloads.degree_sequences import (
+    concentrated_sequence,
+    near_graphic_perturbation,
+    power_law_sequence,
+    random_graphic_sequence,
+    regular_sequence,
+    sqrt_m_family,
+    star_like_sequence,
+)
+from repro.workloads.trees import (
+    balanced_tree_sequence,
+    caterpillar_sequence,
+    path_sequence,
+    random_tree_sequence,
+    star_sequence,
+)
+from repro.workloads.connectivity import (
+    bimodal_rho,
+    power_law_rho,
+    ranked_rho,
+    uniform_rho,
+)
+
+__all__ = [
+    "balanced_tree_sequence",
+    "bimodal_rho",
+    "caterpillar_sequence",
+    "concentrated_sequence",
+    "near_graphic_perturbation",
+    "path_sequence",
+    "power_law_rho",
+    "power_law_sequence",
+    "random_graphic_sequence",
+    "random_tree_sequence",
+    "ranked_rho",
+    "regular_sequence",
+    "sqrt_m_family",
+    "star_like_sequence",
+    "star_sequence",
+    "uniform_rho",
+]

@@ -1,0 +1,47 @@
+"""Connectivity-threshold vector generators (ρ values, Section 6)."""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+
+def uniform_rho(n: int, value: int) -> List[int]:
+    """Every node demands the same edge connectivity ``value``."""
+    if value > n - 1:
+        raise ValueError("a simple graph cannot give rho > n-1")
+    return [value] * n
+
+
+def bimodal_rho(n: int, high: int, low: int, high_fraction: float = 0.2) -> List[int]:
+    """A core of high-demand nodes plus a low-demand periphery."""
+    if high > n - 1 or low > n - 1:
+        raise ValueError("rho values must be <= n-1")
+    core = max(1, int(round(high_fraction * n)))
+    return [high] * core + [low] * (n - core)
+
+
+def power_law_rho(n: int, max_rho: int, exponent: float = 2.0, seed: int = 0) -> List[int]:
+    """Heavy-tailed demands: few nodes want high connectivity."""
+    rng = random.Random(seed)
+    cap = min(max_rho, n - 1)
+    weights = [r ** (-exponent) for r in range(1, cap + 1)]
+    total = sum(weights)
+    out = []
+    for _ in range(n):
+        x = rng.random() * total
+        acc = 0.0
+        value = 1
+        for r, w in zip(range(1, cap + 1), weights):
+            acc += w
+            if x <= acc:
+                value = r
+                break
+        out.append(value)
+    return out
+
+
+def ranked_rho(n: int, max_rho: int) -> List[int]:
+    """Linearly decaying demands 1..max_rho (deterministic ramp)."""
+    cap = min(max_rho, n - 1)
+    return [max(1, cap - (i * cap) // max(1, n)) for i in range(n)]

@@ -1,0 +1,75 @@
+"""Tree-realizable degree sequence generators (``Σd = 2(n-1)``, d >= 1)."""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from repro.sequential.trees import is_tree_realizable
+
+
+def star_sequence(n: int) -> List[int]:
+    """One hub of degree n-1, the rest leaves (minimum diameter 2)."""
+    if n < 2:
+        return [0] * n
+    return [n - 1] + [1] * (n - 1)
+
+
+def path_sequence(n: int) -> List[int]:
+    """A path: two leaves, n-2 internal degree-2 nodes (max diameter)."""
+    if n < 2:
+        return [0] * n
+    if n == 2:
+        return [1, 1]
+    return [2] * (n - 2) + [1, 1]
+
+
+def caterpillar_sequence(n: int, spine_degree: int = 4) -> List[int]:
+    """A caterpillar: spine of degree-``spine_degree`` nodes plus leaves."""
+    if n < 2:
+        return [0] * n
+    # k spine nodes consume k-1 internal edges; leaves fill the rest.
+    # Pick k so that k*(spine_degree) - 2*(k-1) == n - k  =>  leaves count.
+    best = path_sequence(n)
+    for k in range(1, n):
+        leaves = n - k
+        total = 2 * (n - 1)
+        spine_total = total - leaves
+        # distribute spine_total across k spine nodes, each >= 2 (or >=1 if k==1)
+        if k == 1:
+            if spine_total == leaves:  # hub star
+                return [leaves] + [1] * leaves
+            continue
+        base, extra = divmod(spine_total, k)
+        if base < 2:
+            continue
+        seq = sorted([base + (1 if i < extra else 0) for i in range(k)], reverse=True)
+        candidate = seq + [1] * leaves
+        if is_tree_realizable(candidate) and max(candidate) <= n - 1:
+            return candidate
+    return best
+
+
+def balanced_tree_sequence(n: int, arity: int = 2) -> List[int]:
+    """Degree sequence of a complete ``arity``-ary tree truncated to n nodes."""
+    if n < 2:
+        return [0] * n
+    children = [0] * n
+    for child in range(1, n):
+        parent = (child - 1) // arity
+        children[parent] += 1
+    degrees = [children[i] + (0 if i == 0 else 1) for i in range(n)]
+    return sorted(degrees, reverse=True)
+
+
+def random_tree_sequence(n: int, seed: int = 0) -> List[int]:
+    """Degree sequence of a uniformly random labeled tree (via Prüfer)."""
+    if n < 2:
+        return [0] * n
+    if n == 2:
+        return [1, 1]
+    rng = random.Random(seed)
+    degree = [1] * n
+    for _ in range(n - 2):
+        degree[rng.randrange(n)] += 1
+    return sorted(degree, reverse=True)

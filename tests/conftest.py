@@ -1,0 +1,50 @@
+"""Shared test fixtures and helpers."""
+
+from __future__ import annotations
+
+import sys
+
+import pytest
+
+from repro.ncc.config import NCCConfig, Variant
+from repro.ncc.network import Network
+
+# Deep Fork recursion in the mergesort needs generous Python recursion room.
+sys.setrecursionlimit(200_000)
+
+
+def make_net(n: int, seed: int = 0, **overrides) -> Network:
+    """A strict NCC0 network with a deterministic seed."""
+    return Network(n, NCCConfig(seed=seed, **overrides))
+
+
+def make_ncc1(n: int, seed: int = 0, **overrides) -> Network:
+    """An NCC1 network with sequential IDs (the SPAA'19 convention)."""
+    return Network(
+        n, NCCConfig(seed=seed, variant=Variant.NCC1, random_ids=False, **overrides)
+    )
+
+
+@pytest.fixture
+def net16() -> Network:
+    return make_net(16, seed=1)
+
+
+@pytest.fixture
+def net32() -> Network:
+    return make_net(32, seed=2)
+
+
+def inorder_of(net: Network, ns: str, root: int) -> list:
+    """Iterative inorder traversal of a tree namespace (test oracle)."""
+    from repro.primitives.protocol import ns_state
+
+    out, stack, cursor = [], [], root
+    while stack or cursor is not None:
+        while cursor is not None:
+            stack.append(cursor)
+            cursor = ns_state(net, cursor, ns).get("left")
+        cursor = stack.pop()
+        out.append(cursor)
+        cursor = ns_state(net, cursor, ns).get("right")
+    return out

@@ -1,0 +1,155 @@
+"""Tests for the Õ(1)-phase approximate degree realization (stub pairing)."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.approximate import (
+    StubPairing,
+    approximate_degree_realization,
+)
+from repro.ncc.errors import ProtocolError
+from repro.validation import check_explicit, check_simple
+from repro.workloads import (
+    concentrated_sequence,
+    power_law_sequence,
+    regular_sequence,
+)
+
+from tests.conftest import make_net
+
+
+class TestStubPairing:
+    @pytest.mark.parametrize("two_m", [2, 4, 6, 16, 50, 256, 1000])
+    def test_fixed_point_free_involution(self, two_m):
+        pairing = StubPairing(two_m, seed=7)
+        seen = set()
+        for t in range(two_m):
+            u = pairing.pair(t)
+            assert 0 <= u < two_m
+            assert u != t
+            assert pairing.pair(u) == t
+            seen.add(frozenset((t, u)))
+        assert len(seen) == two_m // 2  # a perfect matching on stubs
+
+    def test_different_seeds_differ(self):
+        a = StubPairing(64, seed=1)
+        b = StubPairing(64, seed=2)
+        assert any(a.pair(t) != b.pair(t) for t in range(64))
+
+    def test_rejects_odd_or_empty(self):
+        with pytest.raises(ValueError):
+            StubPairing(3, seed=0)
+        with pytest.raises(ValueError):
+            StubPairing(0, seed=0)
+
+    def test_out_of_range_stub_rejected(self):
+        pairing = StubPairing(10, seed=0)
+        with pytest.raises(ValueError):
+            pairing.pair(10)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(1, 500), st.integers(0, 2**32))
+    def test_property_involution(self, half_m, seed):
+        two_m = 2 * half_m
+        pairing = StubPairing(two_m, seed=seed)
+        rng = random.Random(seed)
+        for _ in range(10):
+            t = rng.randrange(two_m)
+            u = pairing.pair(t)
+            assert u != t and pairing.pair(u) == t
+
+
+class TestApproximateRealization:
+    def test_explicit_and_simple(self):
+        net = make_net(24, seed=1)
+        seq = regular_sequence(24, 4)
+        result = approximate_degree_realization(net, dict(zip(net.node_ids, seq)))
+        assert check_simple(result.edges)
+        assert check_explicit(net)
+        # never over-realizes
+        for v, d in result.demanded.items():
+            assert result.realized_degrees[v] <= d
+
+    def test_error_accounting_consistent(self):
+        net = make_net(32, seed=2)
+        seq = regular_sequence(32, 6)
+        result = approximate_degree_realization(net, dict(zip(net.node_ids, seq)))
+        # L1 error == 2 * (self_pairs + duplicate_pairs) when no repairs ran
+        assert result.l1_error == 2 * (result.self_pairs + result.duplicate_pairs)
+
+    def test_relative_error_small_for_sparse(self):
+        net = make_net(48, seed=3)
+        seq = regular_sequence(48, 4)
+        result = approximate_degree_realization(net, dict(zip(net.node_ids, seq)))
+        assert result.relative_error <= 0.15
+
+    def test_repair_rounds_reduce_error(self):
+        seq = regular_sequence(32, 8)
+        errors = []
+        for repair in (0, 2):
+            net = make_net(32, seed=4)
+            result = approximate_degree_realization(
+                net, dict(zip(net.node_ids, seq)), repair_rounds=repair
+            )
+            errors.append(result.l1_error)
+        assert errors[1] <= errors[0]
+
+    def test_rounds_single_phase_not_delta_phases(self):
+        """Unlike Algorithm 3, cost does not multiply with Δ phases."""
+        rounds = {}
+        for d in (4, 12):
+            net = make_net(32, seed=5)
+            seq = regular_sequence(32, d)
+            result = approximate_degree_realization(
+                net, dict(zip(net.node_ids, seq))
+            )
+            rounds[d] = result.stats.rounds
+        # tripling Δ must cost far less than 3x (one-shot vs phase loop).
+        assert rounds[12] <= 2 * rounds[4]
+
+    def test_power_law_workload(self):
+        seq = power_law_sequence(40, seed=6)
+        if sum(seq) % 2:
+            seq[0] += 1
+        net = make_net(40, seed=6)
+        result = approximate_degree_realization(net, dict(zip(net.node_ids, seq)))
+        assert check_simple(result.edges)
+        assert result.relative_error <= 0.5
+
+    def test_zero_demands(self):
+        net = make_net(8, seed=7)
+        result = approximate_degree_realization(net, {v: 0 for v in net.node_ids})
+        assert result.num_edges == 0
+        assert result.l1_error == 0
+
+    def test_odd_sum_rejected(self):
+        net = make_net(5, seed=8)
+        demands = dict(zip(net.node_ids, (1, 0, 0, 0, 0)))
+        with pytest.raises(ProtocolError):
+            approximate_degree_realization(net, demands)
+
+    def test_negative_rejected(self):
+        net = make_net(4, seed=9)
+        demands = dict(zip(net.node_ids, (-1, 1, 0, 0)))
+        with pytest.raises(ProtocolError):
+            approximate_degree_realization(net, demands)
+
+    def test_caps_respected(self):
+        net = make_net(40, seed=10)
+        seq = regular_sequence(40, 6)
+        approximate_degree_realization(net, dict(zip(net.node_ids, seq)))
+        assert net.max_round_load <= net.recv_cap
+
+    def test_deterministic_per_seed(self):
+        seq = regular_sequence(24, 4)
+        first = approximate_degree_realization(
+            make_net(24, seed=11), dict(zip(make_net(24, seed=11).node_ids, seq))
+        )
+        second = approximate_degree_realization(
+            make_net(24, seed=11), dict(zip(make_net(24, seed=11).node_ids, seq))
+        )
+        assert first.edges == second.edges

@@ -1,0 +1,233 @@
+"""Tests for the butterfly emulation and group primitives (Thms 6-8)."""
+
+import math
+import random
+
+import pytest
+
+from repro.ncc.errors import ProtocolError
+from repro.primitives.bbst import build_indexed_path
+from repro.primitives.butterfly import (
+    AggGroup,
+    ButterflyEmulation,
+    ColGroup,
+    McGroup,
+)
+from repro.primitives.groups import local_aggregate, local_multicast, token_collect
+from repro.primitives.path_ops import build_undirected_path
+from repro.primitives.protocol import ns_state, run_protocol
+
+from tests.conftest import make_net
+
+
+def indexed_net(n, seed=0):
+    net = make_net(n, seed=seed)
+
+    def proto():
+        head = yield from build_undirected_path(net, "ip")
+        yield from build_indexed_path(net, "ip", list(net.node_ids), head)
+        return None
+
+    run_protocol(net, proto())
+    return net
+
+
+class TestWiring:
+    def test_next_hop_fixes_lowest_bit_first(self):
+        net = indexed_net(16, seed=1)
+        emu = ButterflyEmulation(net, "ip")
+        ids = list(net.node_ids)
+        # from row 0 to row 5 (101b): first hop flips bit 0 -> row 1.
+        neighbor, dim = emu.next_hop(ids[0], 5)
+        assert dim == 0
+        assert neighbor == ids[1]
+
+    def test_next_hop_descends_from_outside_subcube(self):
+        net = indexed_net(20, seed=2)  # k = 4, rows 0..15; positions 16..19 outside
+        emu = ButterflyEmulation(net, "ip")
+        ids = list(net.node_ids)
+        neighbor, dim = emu.next_hop(ids[17], 3)
+        assert dim == 4
+        assert neighbor == ids[1]  # 17 ^ 16 = 1
+
+    def test_route_terminates_at_target(self):
+        net = indexed_net(32, seed=3)
+        emu = ButterflyEmulation(net, "ip")
+        ids = list(net.node_ids)
+        for start in (0, 7, 19, 31):
+            pos = start
+            hops = 0
+            while True:
+                hop = emu.next_hop(ids[pos], 13)
+                if hop is None:
+                    break
+                neighbor, _dim = hop
+                pos = list(net.node_ids).index(neighbor)
+                hops += 1
+                assert hops <= 10
+            assert pos == 13
+
+    def test_rendezvous_in_subcube_and_deterministic(self):
+        net = indexed_net(24, seed=4)
+        emu = ButterflyEmulation(net, "ip")
+        for gid in range(50):
+            row = emu.rendezvous_row(gid)
+            assert 0 <= row < 16
+            assert row == emu.rendezvous_row(gid)
+
+    def test_requires_positions(self):
+        net = make_net(8, seed=5)
+        with pytest.raises(ProtocolError):
+            ButterflyEmulation(net, "nowhere")
+
+
+class TestAggregation:
+    def test_sum_max_min(self):
+        net = indexed_net(30, seed=6)
+        ids = list(net.node_ids)
+        groups = [
+            AggGroup(gid=1, members={ids[i]: i for i in range(10)}, dest=ids[25], op="sum"),
+            AggGroup(gid=2, members={ids[i]: i for i in range(5, 25)}, dest=ids[0], op="max"),
+            AggGroup(gid=3, members={ids[i]: i + 3 for i in range(4, 9)}, dest=ids[29], op="min"),
+        ]
+        res = run_protocol(net, local_aggregate(net, "ip", groups))
+        assert res == {1: 45, 2: 24, 3: 7}
+        assert ns_state(net, ids[25], "ip")["agg:1"] == 45
+
+    def test_overlapping_groups(self):
+        net = indexed_net(20, seed=7)
+        ids = list(net.node_ids)
+        groups = [
+            AggGroup(gid=g, members={ids[i]: 1 for i in range(20)}, dest=ids[g], op="sum")
+            for g in range(5)
+        ]
+        res = run_protocol(net, local_aggregate(net, "ip", groups))
+        assert all(res[g] == 20 for g in range(5))
+
+    def test_singleton_group(self):
+        net = indexed_net(12, seed=8)
+        ids = list(net.node_ids)
+        res = run_protocol(
+            net,
+            local_aggregate(
+                net, "ip", [AggGroup(gid=9, members={ids[3]: 42}, dest=ids[8], op="sum")]
+            ),
+        )
+        assert res == {9: 42}
+
+    def test_caps_respected(self):
+        net = indexed_net(64, seed=9)
+        ids = list(net.node_ids)
+        rng = random.Random(1)
+        groups = [
+            AggGroup(
+                gid=g,
+                members={v: 1 for v in rng.sample(ids, 20)},
+                dest=rng.choice(ids),
+                op="sum",
+            )
+            for g in range(12)
+        ]
+        run_protocol(net, local_aggregate(net, "ip", groups))
+        assert net.max_round_load <= net.recv_cap
+
+
+class TestMulticast:
+    def test_token_reaches_all_members(self):
+        net = indexed_net(26, seed=10)
+        ids = list(net.node_ids)
+        members = tuple(ids[i] for i in range(0, 26, 3))
+        group = McGroup(gid=5, source=ids[25], members=members, token=(ids[25],), data=(1,))
+        deliveries = run_protocol(net, local_multicast(net, "ip", [group]))
+        assert deliveries == len(members)
+        for v in members:
+            assert ns_state(net, v, "ip")["mc:5"] == ((ids[25],), (1,))
+
+    def test_many_groups(self):
+        net = indexed_net(40, seed=11)
+        ids = list(net.node_ids)
+        rng = random.Random(2)
+        groups = []
+        for g in range(8):
+            members = tuple(rng.sample(ids, 6))
+            source = rng.choice(ids)
+            groups.append(McGroup(gid=g, source=source, members=members, data=(g,)))
+        deliveries = run_protocol(net, local_multicast(net, "ip", groups))
+        assert deliveries == 8 * 6
+        for group in groups:
+            for v in group.members:
+                assert ns_state(net, v, "ip")[f"mc:{group.gid}"][1] == (group.gid,)
+
+    def test_source_is_member(self):
+        net = indexed_net(15, seed=12)
+        ids = list(net.node_ids)
+        group = McGroup(gid=1, source=ids[4], members=(ids[4], ids[9]), data=(7,))
+        deliveries = run_protocol(net, local_multicast(net, "ip", [group]))
+        assert deliveries == 2
+
+
+class TestCollection:
+    def test_dest_known_tokens_teach_ids(self):
+        net = indexed_net(24, seed=13)
+        ids = list(net.node_ids)
+        tokens = {ids[i]: ((ids[i],), (i,)) for i in range(10)}
+        group = ColGroup(gid=3, tokens=tokens, dest=ids[20])
+        res = run_protocol(net, token_collect(net, "ip", [group]))
+        assert sorted(d for _i, d in res[3]) == [(i,) for i in range(10)]
+        # The destination learned every holder's address.
+        for i in range(10):
+            assert net.knows(ids[20], ids[i])
+
+    def test_claim_based_destination(self):
+        """Both sides only share the group id (Theorem 8's device)."""
+        net = indexed_net(24, seed=14)
+        ids = list(net.node_ids)
+        sender, collector = ids[2], ids[17]
+        assert not net.knows(sender, collector)
+        group = ColGroup(
+            gid=99,
+            tokens={sender: ((sender,), (5,))},
+            dest=None,
+            claimant=collector,
+        )
+        res = run_protocol(net, token_collect(net, "ip", [group]))
+        assert res[99] == [((sender,), (5,))]
+        assert net.knows(collector, sender)
+
+    def test_mixed_groups(self):
+        net = indexed_net(30, seed=15)
+        ids = list(net.node_ids)
+        groups = [
+            ColGroup(gid=1, tokens={ids[0]: ((ids[0],), (1,))}, dest=ids[10]),
+            ColGroup(gid=2, tokens={ids[5]: ((ids[5],), (2,))}, dest=None, claimant=ids[20]),
+            ColGroup(
+                gid=3,
+                tokens={ids[i]: ((ids[i],), (i,)) for i in range(12, 18)},
+                dest=ids[29],
+            ),
+        ]
+        res = run_protocol(net, token_collect(net, "ip", groups))
+        assert len(res[1]) == 1 and len(res[2]) == 1 and len(res[3]) == 6
+
+    def test_group_without_dest_or_claimant_rejected(self):
+        net = indexed_net(8, seed=16)
+        ids = list(net.node_ids)
+        group = ColGroup(gid=1, tokens={ids[0]: ((ids[0],), ())}, dest=None)
+        with pytest.raises(ProtocolError):
+            run_protocol(net, token_collect(net, "ip", [group]))
+
+    def test_caps_respected_with_hot_destination(self):
+        net = indexed_net(48, seed=17)
+        ids = list(net.node_ids)
+        # Two groups share the same destination (l2 = 2).
+        groups = [
+            ColGroup(
+                gid=g,
+                tokens={ids[i]: ((ids[i],), (g, i)) for i in range(g * 12, g * 12 + 12)},
+                dest=ids[47],
+            )
+            for g in range(2)
+        ]
+        res = run_protocol(net, token_collect(net, "ip", groups))
+        assert len(res[0]) == 12 and len(res[1]) == 12
+        assert net.max_round_load <= net.recv_cap

@@ -1,0 +1,65 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestCLI:
+    def test_info(self, capsys):
+        assert main(["info", "--n", "32"]) == 0
+        out = capsys.readouterr().out
+        assert "n=32" in out
+        assert "per-round caps" in out
+
+    def test_realize_graphic(self, capsys):
+        assert main(["realize", "--degrees", "3,3,3,3"]) == 0
+        out = capsys.readouterr().out
+        assert "REALIZED: 6 edges" in out
+        assert "phase breakdown" in out
+
+    def test_realize_unrealizable_exit_code(self, capsys):
+        assert main(["realize", "--degrees", "1,1,1"]) == 1
+        out = capsys.readouterr().out
+        assert "UNREALIZABLE" in out
+
+    def test_realize_explicit(self, capsys):
+        assert main(["realize", "--degrees", "2,2,2,1,1", "--explicit"]) == 0
+        out = capsys.readouterr().out
+        assert "explicit" in out
+
+    def test_realize_envelope(self, capsys):
+        assert main(["realize", "--degrees", "4,4,4,4,0", "--envelope"]) == 0
+        out = capsys.readouterr().out
+        assert "REALIZED" in out
+
+    def test_tree_min_and_max(self, capsys):
+        assert main(["tree", "--degrees", "3,2,2,1,1,1", "--variant", "min"]) == 0
+        min_out = capsys.readouterr().out
+        assert "diameter" in min_out
+        assert main(["tree", "--degrees", "3,2,2,1,1,1", "--variant", "max"]) == 0
+
+    def test_tree_unrealizable(self, capsys):
+        assert main(["tree", "--degrees", "2,2,2"]) == 1
+
+    def test_connectivity_ncc0(self, capsys):
+        assert main(["connectivity", "--rho", "2,2,1,1,1,1", "--fast"]) == 0
+        out = capsys.readouterr().out
+        assert "ratio" in out and "explicit" in out
+
+    def test_connectivity_ncc1(self, capsys):
+        assert main(["connectivity", "--rho", "2,2,1,1,1,1", "--model", "ncc1"]) == 0
+        out = capsys.readouterr().out
+        assert "implicit" in out
+
+    def test_approx(self, capsys):
+        assert main(["approx", "--degrees", "4,4,4,4,4,4,4,4", "--fast"]) == 0
+        out = capsys.readouterr().out
+        assert "APPROXIMATED" in out
+
+    def test_bad_degree_list(self):
+        with pytest.raises(SystemExit):
+            main(["realize", "--degrees", "a,b"])
+
+    def test_seed_flag(self, capsys):
+        assert main(["--seed", "7", "realize", "--degrees", "2,2,2,2", "--fast"]) == 0

@@ -1,0 +1,171 @@
+"""Tests for Algorithm 3 (Theorem 11, Lemma 10) — implicit realization."""
+
+import math
+import random
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.degree_realization import realize_degree_sequence
+from repro.sequential import is_graphic
+from repro.validation import check_degree_match, check_implicit, check_simple
+from repro.workloads import (
+    concentrated_sequence,
+    random_graphic_sequence,
+    regular_sequence,
+    star_like_sequence,
+)
+
+from tests.conftest import make_net
+
+
+def run_realization(seq, seed=0, mode="strict", fidelity="full"):
+    net = make_net(len(seq), seed=seed)
+    demands = dict(zip(net.node_ids, seq))
+    result = realize_degree_sequence(net, demands, mode=mode, sort_fidelity=fidelity)
+    return net, demands, result
+
+
+class TestGraphicInputs:
+    @pytest.mark.parametrize(
+        "seq",
+        [
+            [0],
+            [0, 0],
+            [1, 1],
+            [2, 2, 2],
+            [3, 3, 3, 3],
+            [3, 2, 2, 2, 1],
+            [4, 4, 4, 4, 4] + [0] * 3,
+            [5, 5, 4, 3, 3, 2, 2, 2, 1, 1],
+        ],
+    )
+    def test_exact_realization(self, seq):
+        assert is_graphic(seq)
+        net, demands, result = run_realization(seq, seed=len(seq))
+        assert result.realized
+        assert result.announced_unrealizable_by == ()
+        assert check_simple(result.edges)
+        assert check_degree_match(result.edges, demands, net.node_ids)
+        assert check_implicit(net)
+
+    def test_regular_graphs(self):
+        for n, d in [(8, 3), (12, 4), (16, 5)]:
+            seq = regular_sequence(n, d)
+            net, demands, result = run_realization(seq, seed=n)
+            assert result.realized
+            assert check_degree_match(result.edges, demands, net.node_ids)
+
+    def test_random_graph_sequences(self):
+        for seed in range(3):
+            seq = random_graphic_sequence(14, p=0.4, seed=seed)
+            net, demands, result = run_realization(seq, seed=seed)
+            assert result.realized
+            assert check_degree_match(result.edges, demands, net.node_ids)
+
+    def test_star_like(self):
+        seq = star_like_sequence(12, hubs=2)
+        net, demands, result = run_realization(seq, seed=3)
+        assert result.realized
+        assert check_degree_match(result.edges, demands, net.node_ids)
+
+    def test_concentrated(self):
+        seq = concentrated_sequence(16, k=5, seed=1)
+        net, demands, result = run_realization(seq, seed=4)
+        assert result.realized
+        assert check_degree_match(result.edges, demands, net.node_ids)
+
+    @settings(max_examples=12, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_property_random_graphic(self, seed):
+        rng = random.Random(seed)
+        n = rng.randrange(4, 14)
+        graph = nx.gnp_random_graph(n, 0.5, seed=seed)
+        seq = [d for _, d in graph.degree()]
+        net, demands, result = run_realization(seq, seed=seed)
+        assert result.realized
+        assert check_degree_match(result.edges, demands, net.node_ids)
+
+
+class TestUnrealizableInputs:
+    @pytest.mark.parametrize(
+        "seq",
+        [
+            [1],                 # single node wanting a partner
+            [1, 1, 1],           # odd sum
+            [5, 5, 1, 1, 1, 1],  # even sum, EG fails at k=2
+            [4, 4, 4, 4, 0],     # even sum, EG fails
+            [3, 3, 3, 1],        # EG fails
+        ],
+    )
+    def test_announced(self, seq):
+        assert not is_graphic(seq)
+        net, demands, result = run_realization(seq, seed=len(seq) * 7)
+        assert not result.realized
+        assert len(result.announced_unrealizable_by) >= 1
+        announcers = set(result.announced_unrealizable_by)
+        assert announcers <= set(net.node_ids)
+
+    def test_degree_too_large(self):
+        seq = [5, 1, 1, 1]  # d >= n
+        net, demands, result = run_realization(seq, seed=9)
+        assert not result.realized
+
+    @settings(max_examples=12, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_property_verdict_matches_erdos_gallai(self, seed):
+        rng = random.Random(seed)
+        n = rng.randrange(3, 12)
+        seq = [rng.randrange(0, n) for _ in range(n)]
+        net, demands, result = run_realization(seq, seed=seed)
+        assert result.realized == is_graphic(seq)
+
+
+class TestPhaseBounds:
+    def test_lemma_10_phase_bound(self):
+        """phases <= 2*min(sqrt(m), Δ) + 2 on assorted workloads."""
+        cases = [
+            regular_sequence(16, 4),
+            random_graphic_sequence(20, 0.3, seed=2),
+            concentrated_sequence(24, 6, seed=3),
+            star_like_sequence(14, hubs=1),
+        ]
+        for seq in cases:
+            net, demands, result = run_realization(seq, seed=sum(seq))
+            if not result.realized:
+                continue
+            m = sum(seq) / 2
+            delta = max(seq)
+            bound = 2 * min(math.sqrt(max(1, m)), max(1, delta)) + 2
+            assert result.phases <= bound, (seq, result.phases, bound)
+
+    def test_zero_sequence_single_phase(self):
+        net, demands, result = run_realization([0] * 6, seed=1)
+        assert result.realized
+        assert result.phases == 1
+        assert result.num_edges == 0
+
+
+class TestDeterminismAndModes:
+    def test_same_seed_same_result(self):
+        seq = random_graphic_sequence(12, 0.4, seed=5)
+        _, _, first = run_realization(seq, seed=42)
+        _, _, second = run_realization(seq, seed=42)
+        assert first.edges == second.edges
+        assert first.stats.rounds == second.stats.rounds
+
+    def test_charged_fidelity_matches_full(self):
+        seq = random_graphic_sequence(12, 0.4, seed=6)
+        _, _, full = run_realization(seq, seed=7, fidelity="full")
+        _, _, charged = run_realization(seq, seed=7, fidelity="charged")
+        assert full.realized and charged.realized
+        assert full.edges == charged.edges
+        assert charged.stats.charged_rounds > 0
+
+    def test_caps_respected_throughout(self):
+        seq = regular_sequence(24, 5)
+        net, _, result = run_realization(seq, seed=8)
+        assert result.realized
+        assert net.max_round_load <= net.recv_cap

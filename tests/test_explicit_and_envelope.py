@@ -1,0 +1,144 @@
+"""Tests for explicit conversion (Thm 12) and envelope realization (Thm 13)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.envelope import (
+    envelope_discrepancy,
+    envelope_holds,
+    realize_envelope,
+)
+from repro.core.explicit import realize_degree_sequence_explicit
+from repro.ncc.config import EnforcementMode
+from repro.sequential import is_graphic
+from repro.validation import check_degree_match, check_explicit, check_implicit
+from repro.workloads import (
+    near_graphic_perturbation,
+    random_graphic_sequence,
+    regular_sequence,
+)
+
+from tests.conftest import make_net
+
+
+class TestExplicitConversion:
+    @pytest.mark.parametrize("seq", [[3, 3, 3, 3], [2, 2, 2, 1, 1], [4, 3, 3, 2, 2, 2]])
+    def test_collection_method(self, seq):
+        net = make_net(len(seq), seed=len(seq))
+        demands = dict(zip(net.node_ids, seq))
+        result = realize_degree_sequence_explicit(net, demands)
+        assert result.realized and result.explicit
+        assert check_explicit(net)
+        assert check_degree_match(result.edges, demands, net.node_ids)
+
+    def test_random_method_needs_defer(self):
+        net = make_net(8, seed=1)
+        demands = {v: 3 for v in net.node_ids}
+        from repro.ncc.errors import ProtocolError
+
+        with pytest.raises(ProtocolError):
+            realize_degree_sequence_explicit(net, demands, method="random")
+
+    def test_random_method_in_defer_mode(self):
+        net = make_net(12, seed=2, enforcement=EnforcementMode.DEFER)
+        demands = {v: 4 for v in net.node_ids}
+        result = realize_degree_sequence_explicit(net, demands, method="random")
+        assert result.realized and result.explicit
+        assert check_explicit(net)
+        assert check_degree_match(result.edges, demands, net.node_ids)
+
+    def test_unknown_method_rejected(self):
+        net = make_net(6, seed=3)
+        demands = {v: 1 for v in net.node_ids}
+        with pytest.raises(ValueError):
+            realize_degree_sequence_explicit(net, demands, method="bogus")
+
+    def test_unrealizable_skips_conversion(self):
+        net = make_net(3, seed=4)
+        demands = dict(zip(net.node_ids, (1, 1, 1)))
+        result = realize_degree_sequence_explicit(net, demands)
+        assert not result.realized
+        assert not result.explicit
+
+    def test_larger_instance(self):
+        seq = random_graphic_sequence(20, 0.35, seed=9)
+        net = make_net(20, seed=5)
+        demands = dict(zip(net.node_ids, seq))
+        result = realize_degree_sequence_explicit(net, demands)
+        assert result.realized
+        assert check_explicit(net)
+
+    def test_both_endpoints_know_each_other(self):
+        """Explicitness at the knowledge level, not just the edge list."""
+        net = make_net(10, seed=6)
+        demands = {v: 3 for v in net.node_ids}
+        result = realize_degree_sequence_explicit(net, demands)
+        for u, v in result.edges:
+            assert net.knows(u, v) and net.knows(v, u)
+
+
+class TestEnvelope:
+    @pytest.mark.parametrize(
+        "seq",
+        [
+            [5, 5, 0, 0, 0, 0],
+            [1, 1, 1],
+            [4, 4, 4, 4, 0],
+            [3, 3, 3, 1],
+            [5, 5, 1, 1, 1, 1],
+        ],
+    )
+    def test_non_graphic_guarantees(self, seq):
+        assert not is_graphic(seq)
+        net = make_net(len(seq), seed=sum(seq))
+        demands = dict(zip(net.node_ids, seq))
+        result = realize_envelope(net, demands)
+        assert result.realized
+        assert envelope_holds(demands, result), (
+            seq,
+            result.realized_degrees,
+        )
+        assert check_explicit(net)
+
+    def test_graphic_input_zero_discrepancy(self):
+        seq = [3, 3, 2, 2, 2]
+        net = make_net(len(seq), seed=1)
+        demands = dict(zip(net.node_ids, seq))
+        result = realize_envelope(net, demands)
+        assert result.realized
+        assert envelope_discrepancy(demands, result) == 0
+        assert check_degree_match(result.edges, demands, net.node_ids)
+
+    def test_implicit_variant(self):
+        seq = [3, 3, 3, 1]
+        net = make_net(4, seed=2)
+        demands = dict(zip(net.node_ids, seq))
+        result = realize_envelope(net, demands, explicit=False)
+        assert result.realized
+        assert check_implicit(net)
+        assert envelope_holds(demands, result)
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_property_guarantees_on_perturbations(self, seed):
+        base = random_graphic_sequence(10, 0.4, seed=seed)
+        seq = near_graphic_perturbation(base, bumps=3, seed=seed)
+        net = make_net(10, seed=seed)
+        demands = dict(zip(net.node_ids, seq))
+        result = realize_envelope(net, demands)
+        assert result.realized
+        assert envelope_holds(demands, result)
+
+    def test_discrepancy_bounded_by_demand_sum(self):
+        """Theorem 13's proof bound: epsilon <= sum(d)."""
+        for seed in range(4):
+            base = regular_sequence(12, 3)
+            seq = near_graphic_perturbation(base, bumps=5, seed=seed)
+            net = make_net(12, seed=seed)
+            demands = dict(zip(net.node_ids, seq))
+            result = realize_envelope(net, demands)
+            clamped_sum = sum(min(d, 11) for d in demands.values())
+            assert envelope_discrepancy(demands, result) <= clamped_sum

@@ -1,0 +1,86 @@
+"""W.h.p. behaviour across seeds, and trace-level locality properties.
+
+The paper's algorithms are Las Vegas: correct on every run, with round
+bounds holding with high probability.  These tests sweep seeds and check
+(a) correctness never varies, (b) the round-count tail stays within a
+constant of the median, and (c) message *locality* invariants hold at the
+trace level (e.g. structure 𝓛 construction only ever sends between nodes
+at power-of-two path distances).
+"""
+
+import statistics
+
+from repro.core.degree_realization import realize_degree_sequence
+from repro.ncc.tracing import RoundTrace
+from repro.primitives.bbst import build_bbst
+from repro.primitives.protocol import run_protocol
+from repro.primitives.sorting import distributed_sort
+from repro.validation import check_degree_match
+from repro.workloads import random_graphic_sequence, regular_sequence
+
+from tests.conftest import make_net
+
+
+class TestSeedSweeps:
+    def test_realization_correct_for_every_seed(self):
+        seq = random_graphic_sequence(16, 0.4, seed=1)
+        for seed in range(8):
+            net = make_net(16, seed=seed)
+            demands = dict(zip(net.node_ids, seq))
+            result = realize_degree_sequence(net, demands)
+            assert result.realized
+            assert check_degree_match(result.edges, demands, net.node_ids)
+
+    def test_round_tail_bounded_across_seeds(self):
+        """Las Vegas tail: max rounds within 1.5x of the median."""
+        rounds = []
+        seq = regular_sequence(16, 4)
+        for seed in range(10):
+            net = make_net(16, seed=seed)
+            result = realize_degree_sequence(net, dict(zip(net.node_ids, seq)))
+            rounds.append(result.stats.rounds)
+        median = statistics.median(rounds)
+        assert max(rounds) <= 1.5 * median, rounds
+
+    def test_sort_rounds_stable_across_seeds(self):
+        rounds = []
+        for seed in range(8):
+            net = make_net(32, seed=seed)
+            values = {v: (i * 7) % 11 for i, v in enumerate(net.node_ids)}
+            run_protocol(net, distributed_sort(net, lambda v: values[v]))
+            rounds.append(net.rounds)
+        assert max(rounds) <= 1.5 * statistics.median(rounds), rounds
+
+
+class TestTraceLocality:
+    def test_bbst_messages_respect_power_of_two_distances(self):
+        """During 𝓛 + controlled BFS, every message travels between nodes
+        whose path distance is a power of two (or adjacent): the
+        construction never needs long-range addressing."""
+        net = make_net(32, seed=3)
+        position = {v: i for i, v in enumerate(net.node_ids)}
+        trace = RoundTrace(net)
+        run_protocol(net, build_bbst(net))
+        trace.detach()
+        allowed = {1 << i for i in range(8)}
+        for delivery in trace.deliveries:
+            distance = abs(position[delivery.src] - position[delivery.dst])
+            assert distance in allowed, (delivery, distance)
+
+    def test_bbst_message_volume_linearithmic(self):
+        """Total messages for the Theorem-1 build are O(n log n)."""
+        import math
+
+        volumes = []
+        for n in (32, 128):
+            net = make_net(n, seed=4)
+            run_protocol(net, build_bbst(net))
+            volumes.append(net.messages_delivered / (n * math.log2(n)))
+        assert volumes[1] <= volumes[0] * 1.5
+
+    def test_trace_rounds_match_network_rounds(self):
+        net = make_net(16, seed=5)
+        trace = RoundTrace(net)
+        run_protocol(net, build_bbst(net))
+        assert trace.rounds_used() <= net.rounds
+        assert len(trace) == net.messages_delivered

@@ -1,0 +1,140 @@
+"""Unit tests for NCC components: ids, config, knowledge graphs, metrics."""
+
+import math
+
+import pytest
+
+from repro.ncc.config import EnforcementMode, NCCConfig, Variant
+from repro.ncc.ids import IdSpace
+from repro.ncc.knowledge import (
+    complete_knowledge,
+    cycle_knowledge,
+    knowledge_for_variant,
+    path_knowledge,
+    random_tree_knowledge,
+)
+from repro.ncc.metrics import RoundStats, log2n, polylog
+
+
+class TestIdSpace:
+    def test_sequential_ids(self):
+        space = IdSpace(5, random_ids=False)
+        assert list(space.ids) == [1, 2, 3, 4, 5]
+        assert space.index_of(3) == 2
+        assert space.id_of(0) == 1
+
+    def test_random_ids_unique_and_in_range(self):
+        space = IdSpace(100, exponent=3, random_ids=True, seed=9)
+        ids = list(space.ids)
+        assert len(set(ids)) == 100
+        assert all(1 <= x <= 100**3 for x in ids)
+
+    def test_random_ids_deterministic_per_seed(self):
+        a = IdSpace(20, seed=5)
+        b = IdSpace(20, seed=5)
+        c = IdSpace(20, seed=6)
+        assert list(a.ids) == list(b.ids)
+        assert list(a.ids) != list(c.ids)
+
+    def test_contains_and_len(self):
+        space = IdSpace(4, random_ids=False)
+        assert 4 in space
+        assert 5 not in space
+        assert len(space) == 4
+
+    def test_unknown_id_raises(self):
+        space = IdSpace(4, random_ids=False)
+        with pytest.raises(KeyError):
+            space.index_of(99)
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ValueError):
+            IdSpace(0)
+        with pytest.raises(ValueError):
+            IdSpace(4, exponent=0)
+
+    def test_single_node(self):
+        space = IdSpace(1)
+        assert len(space) == 1
+
+
+class TestConfig:
+    def test_caps_floor(self):
+        config = NCCConfig(min_cap=8)
+        send, recv = config.cap_for(4)
+        assert send >= 8 and recv >= 8
+
+    def test_caps_grow_logarithmically(self):
+        config = NCCConfig(send_cap_factor=2.0, min_cap=1)
+        send_256, _ = config.cap_for(256)
+        send_65536, _ = config.cap_for(65536)
+        assert send_256 == 16
+        assert send_65536 == 32
+
+    def test_replace(self):
+        config = NCCConfig(seed=1)
+        other = config.replace(seed=2, variant=Variant.NCC1)
+        assert other.seed == 2
+        assert other.variant is Variant.NCC1
+        assert config.seed == 1  # frozen original untouched
+
+    def test_enforcement_modes_exist(self):
+        assert EnforcementMode.STRICT.value == "strict"
+        assert EnforcementMode.DEFER.value == "defer"
+        assert EnforcementMode.UNBOUNDED.value == "unbounded"
+
+
+class TestKnowledgeGraphs:
+    IDS = (10, 20, 30, 40)
+
+    def test_path(self):
+        known = path_knowledge(self.IDS)
+        assert known[10] == {20}
+        assert known[40] == set()
+
+    def test_cycle(self):
+        known = cycle_knowledge(self.IDS)
+        assert known[40] == {10}
+
+    def test_complete(self):
+        known = complete_knowledge(self.IDS)
+        for v in self.IDS:
+            assert known[v] == set(self.IDS) - {v}
+
+    def test_random_tree_every_nonroot_knows_parent(self):
+        known = random_tree_knowledge(self.IDS, seed=3)
+        assert known[10] == set()
+        for v in self.IDS[1:]:
+            assert len(known[v]) == 1
+
+    def test_variant_dispatch(self):
+        assert knowledge_for_variant(self.IDS, Variant.NCC1)[10] == set(self.IDS) - {10}
+        assert knowledge_for_variant(self.IDS, Variant.NCC0)[10] == {20}
+
+    def test_single_node_path(self):
+        assert path_knowledge((7,)) == {7: set()}
+
+
+class TestMetrics:
+    def _stats(self, n=64, rounds=36):
+        return RoundStats(
+            n=n, rounds=rounds, simulated_rounds=rounds, charged_rounds=0,
+            messages=10, words=20, send_cap=12, recv_cap=12, max_round_load=3,
+        )
+
+    def test_per_log_n(self):
+        stats = self._stats(n=64, rounds=36)
+        assert stats.per_log_n() == pytest.approx(6.0)
+
+    def test_per_polylog(self):
+        stats = self._stats(n=64, rounds=216)
+        assert stats.per_polylog(3) == pytest.approx(1.0)
+
+    def test_ratio_to(self):
+        stats = self._stats(rounds=100)
+        assert stats.ratio_to(50) == pytest.approx(2.0)
+
+    def test_helpers(self):
+        assert log2n(2) == 1.0
+        assert polylog(16, 2) == pytest.approx(16.0)
+        assert log2n(1) == 1.0

@@ -1,0 +1,188 @@
+"""Tests for the generator scheduler: round sharing, Fork, failure modes."""
+
+import pytest
+
+from repro.ncc.errors import ProtocolError
+from repro.ncc.message import msg
+from repro.primitives.protocol import (
+    Fork,
+    Scheduler,
+    fresh_ns,
+    idle,
+    ns_state,
+    run_protocol,
+    take,
+    take_one,
+)
+
+from tests.conftest import make_net
+
+
+def test_single_protocol_counts_rounds():
+    net = make_net(4)
+
+    def proto():
+        yield []
+        yield []
+        return "done"
+
+    assert run_protocol(net, proto()) == "done"
+    assert net.rounds == 2
+
+
+def test_fork_children_share_rounds():
+    net = make_net(4)
+
+    def child(k):
+        for _ in range(k):
+            yield []
+        return k
+
+    def parent():
+        results = yield Fork([child(3), child(5), child(2)])
+        return results
+
+    results = run_protocol(net, parent())
+    assert results == [3, 5, 2]
+    # Concurrent children share rounds: total == the longest child.
+    assert net.rounds == 5
+
+
+def test_nested_forks():
+    net = make_net(4)
+
+    def leaf(k):
+        for _ in range(k):
+            yield []
+        return k
+
+    def mid():
+        out = yield Fork([leaf(2), leaf(4)])
+        return sum(out)
+
+    def top():
+        out = yield Fork([mid(), mid(), leaf(1)])
+        return out
+
+    assert run_protocol(net, top()) == [6, 6, 1]
+    assert net.rounds == 4
+
+
+def test_fork_with_immediate_returns():
+    net = make_net(4)
+
+    def instant():
+        return 7
+        yield  # pragma: no cover
+
+    def parent():
+        out = yield Fork([instant(), instant()])
+        return out
+
+    assert run_protocol(net, parent()) == [7, 7]
+    assert net.rounds == 0
+
+
+def test_empty_fork():
+    net = make_net(4)
+
+    def parent():
+        out = yield Fork([])
+        return out
+
+    assert run_protocol(net, parent()) == []
+
+
+def test_messages_flow_between_concurrent_tasks():
+    net = make_net(4)
+    ids = list(net.node_ids)
+
+    def sender():
+        yield [(ids[0], ids[1], msg("ping", data=(5,)))]
+        return "sent"
+
+    def receiver():
+        inboxes = yield []
+        got = take_one(inboxes, ids[1], "ping")
+        return got.data[0] if got else None
+
+    results = Scheduler(net).run(sender(), receiver())
+    assert results == ["sent", 5]
+    assert net.rounds == 1
+
+
+def test_yield_from_sequential_composition():
+    net = make_net(4)
+
+    def inner():
+        yield []
+        return 1
+
+    def outer():
+        a = yield from inner()
+        b = yield from inner()
+        return a + b
+
+    assert run_protocol(net, outer()) == 2
+    assert net.rounds == 2
+
+
+def test_bad_yield_type_raises():
+    net = make_net(4)
+
+    def proto():
+        yield 42
+
+    with pytest.raises(ProtocolError):
+        run_protocol(net, proto())
+
+
+def test_round_budget_enforced():
+    net = make_net(4)
+
+    def forever():
+        while True:
+            yield []
+
+    with pytest.raises(ProtocolError):
+        run_protocol(net, forever(), max_rounds=10)
+
+
+def test_idle_helper():
+    net = make_net(4)
+    run_protocol(net, idle(3))
+    assert net.rounds == 3
+
+
+def test_take_and_take_one():
+    net = make_net(4)
+    ids = list(net.node_ids)
+
+    def proto():
+        inboxes = yield [
+            (ids[0], ids[1], msg("a", data=(1,))),
+            (ids[2], ids[1], msg("a", data=(2,))),
+        ]
+        both = take(inboxes, ids[1], "a")
+        assert len(both) == 2
+        with pytest.raises(ProtocolError):
+            take_one(inboxes, ids[1], "a")
+        assert take_one(inboxes, ids[1], "zzz") is None
+        return True
+
+    # ids[2] must know ids[1]: it doesn't on the path (knows ids[3]).
+    net.grant_knowledge(ids[2], ids[1])
+    assert run_protocol(net, proto())
+
+
+def test_fresh_ns_unique():
+    assert fresh_ns("x") != fresh_ns("x")
+
+
+def test_ns_state_isolated_per_namespace():
+    net = make_net(2)
+    v = net.node_ids[0]
+    ns_state(net, v, "a")["k"] = 1
+    ns_state(net, v, "b")["k"] = 2
+    assert ns_state(net, v, "a")["k"] == 1
+    assert ns_state(net, v, "b")["k"] == 2

@@ -1,0 +1,128 @@
+"""Tests for doubling range multicast over structure 𝓛."""
+
+import math
+
+import pytest
+
+from repro.ncc.errors import ProtocolError
+from repro.primitives.bbst import build_indexed_path
+from repro.primitives.path_ops import build_undirected_path
+from repro.primitives.protocol import ns_state, run_protocol
+from repro.primitives.range_multicast import range_multicast
+
+from tests.conftest import make_net
+
+
+def indexed_net(n, seed=0):
+    net = make_net(n, seed=seed)
+
+    def proto():
+        head = yield from build_undirected_path(net, "ip")
+        yield from build_indexed_path(net, "ip", list(net.node_ids), head)
+        return None
+
+    run_protocol(net, proto())
+    return net
+
+
+def run_requests(net, requests, key="rm_token"):
+    return run_protocol(net, range_multicast(net, "ip", requests, key=key))
+
+
+class TestDelivery:
+    @pytest.mark.parametrize("width", [1, 2, 3, 7, 15, 20])
+    def test_rightward_block(self, width):
+        net = indexed_net(32, seed=width)
+        ids = list(net.node_ids)
+        src = ids[3]
+        deliveries = run_requests(net, [(src, 4, 3 + width, ((src,), (9,)))])
+        assert deliveries == width
+        for pos in range(4, 4 + width):
+            token = ns_state(net, ids[pos], "ip")["rm_token"]
+            assert token == ((src,), (9,))
+        # Nodes outside the range never got it.
+        assert "rm_token" not in ns_state(net, ids[2], "ip")
+        if 4 + width < 32:
+            assert "rm_token" not in ns_state(net, ids[4 + width], "ip")
+
+    @pytest.mark.parametrize("width", [1, 4, 10])
+    def test_leftward_block(self, width):
+        net = indexed_net(32, seed=width)
+        ids = list(net.node_ids)
+        src = ids[20]
+        deliveries = run_requests(net, [(src, 20 - width, 19, ((src,), ()))])
+        assert deliveries == width
+        for pos in range(20 - width, 20):
+            assert ns_state(net, ids[pos], "ip")["rm_token"][0] == (src,)
+
+    def test_many_disjoint_groups_in_parallel(self):
+        """Algorithm 3's use: q groups of δ+1 positions each."""
+        n, delta = 60, 5
+        net = indexed_net(n, seed=1)
+        ids = list(net.node_ids)
+        requests = []
+        q = n // (delta + 1)
+        for alpha in range(q):
+            head_pos = alpha * (delta + 1)
+            src = ids[head_pos]
+            requests.append((src, head_pos + 1, head_pos + delta, ((src,), ())))
+        base = net.rounds
+        deliveries = run_requests(net, requests)
+        assert deliveries == q * delta
+        # parallel: cost is O(log delta)-ish, not q * something
+        assert net.rounds - base <= 4 * math.ceil(math.log2(delta + 1)) + 6
+        for alpha in range(q):
+            head_pos = alpha * (delta + 1)
+            for pos in range(head_pos + 1, head_pos + delta + 1):
+                token = ns_state(net, ids[pos], "ip")["rm_token"]
+                assert token[0] == (ids[head_pos],)
+
+    def test_rounds_logarithmic_in_width(self):
+        costs = {}
+        for width in (8, 64, 120):
+            net = indexed_net(128, seed=2)
+            ids = list(net.node_ids)
+            src = ids[0]
+            base = net.rounds
+            run_requests(net, [(src, 1, width, ((src,), ()))])
+            costs[width] = net.rounds - base
+        assert costs[120] <= costs[8] + 3 * (
+            math.log2(120) - math.log2(8) + 2
+        )
+
+
+class TestValidation:
+    def test_rejects_non_adjacent_source(self):
+        net = indexed_net(16, seed=3)
+        ids = list(net.node_ids)
+        with pytest.raises(ProtocolError):
+            run_requests(net, [(ids[0], 5, 8, ((ids[0],), ()))])
+
+    def test_rejects_overlapping_ranges(self):
+        net = indexed_net(16, seed=4)
+        ids = list(net.node_ids)
+        with pytest.raises(ProtocolError):
+            run_requests(
+                net,
+                [
+                    (ids[0], 1, 6, ((ids[0],), ())),
+                    (ids[3], 4, 9, ((ids[3],), ())),
+                ],
+            )
+
+    def test_rejects_empty_range(self):
+        net = indexed_net(16, seed=5)
+        ids = list(net.node_ids)
+        with pytest.raises(ProtocolError):
+            run_requests(net, [(ids[0], 5, 4, ((ids[0],), ()))])
+
+    def test_caps_respected_under_load(self):
+        net = indexed_net(96, seed=6)
+        ids = list(net.node_ids)
+        requests = []
+        block = 8
+        for start in range(0, 96 - block, block):
+            src = ids[start]
+            requests.append((src, start + 1, start + block - 1, ((src,), ())))
+        run_requests(net, requests)
+        assert net.max_round_load <= net.recv_cap

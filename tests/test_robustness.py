@@ -1,0 +1,146 @@
+"""Robustness tests: alternative Gk, tiny networks, failure injection,
+model-parameter edges, and moderate-scale stress."""
+
+import pytest
+
+from repro.ncc.config import NCCConfig, Variant
+from repro.ncc.errors import MessageTooLarge, NCCError
+from repro.ncc.knowledge import cycle_knowledge, random_tree_knowledge
+from repro.ncc.network import Network
+from repro.core.degree_realization import realize_degree_sequence
+from repro.core.tree_realization import realize_tree
+from repro.core.connectivity import realize_connectivity_ncc0
+from repro.primitives.broadcast import global_aggregate
+from repro.primitives.bbst import build_bbst
+from repro.primitives.protocol import run_protocol
+from repro.primitives.sorting import distributed_sort
+from repro.validation import check_degree_match, check_tree
+from repro.workloads import random_tree_sequence, regular_sequence
+
+from tests.conftest import make_net
+
+
+class TestAlternativeKnowledgeGraphs:
+    def test_cycle_gk_runs_identically(self):
+        """Extra initial knowledge (a cycle's back edge) is harmless."""
+        config = NCCConfig(seed=1)
+        ids = Network(12, config).node_ids  # same seed -> same ids
+        net = Network(12, config, knowledge=cycle_knowledge(ids))
+        seq = regular_sequence(12, 3)
+        result = realize_degree_sequence(net, dict(zip(net.node_ids, seq)))
+        assert result.realized
+        assert check_degree_match(result.edges, dict(zip(net.node_ids, seq)), net.node_ids)
+
+    def test_tree_gk_lacks_path_pointers(self):
+        """A random-tree Gk does not provide the path structure the
+        bootstrap assumes; the simulator catches the illegal send."""
+        config = NCCConfig(seed=2)
+        ids = Network(8, config).node_ids
+        net = Network(8, config, knowledge=random_tree_knowledge(ids, seed=3))
+        with pytest.raises(NCCError):
+            run_protocol(net, build_bbst(net))
+
+
+class TestTinyNetworks:
+    def test_n1_everything(self):
+        net = make_net(1, seed=4)
+        result = realize_degree_sequence(net, {net.node_ids[0]: 0})
+        assert result.realized and result.num_edges == 0
+
+        net = make_net(1, seed=5)
+        tree = realize_tree(net, {net.node_ids[0]: 0})
+        assert tree.realized and tree.diameter == 0
+
+        net = make_net(1, seed=6)
+        conn = realize_connectivity_ncc0(net, {net.node_ids[0]: 0})
+        assert conn.num_edges == 0
+
+    def test_n1_sort(self):
+        net = make_net(1, seed=7)
+        ns, order = run_protocol(net, distributed_sort(net, lambda v: 0))
+        assert order == list(net.node_ids)
+
+    def test_n2_realizations(self):
+        net = make_net(2, seed=8)
+        demands = dict(zip(net.node_ids, (1, 1)))
+        result = realize_degree_sequence(net, demands)
+        assert result.realized and result.num_edges == 1
+
+
+class TestFailureInjection:
+    def test_tiny_word_budget_breaks_protocols_loudly(self):
+        """With max_words=2 the sort's handle delegation cannot fit; the
+        simulator must refuse the oversized message, not truncate it."""
+        net = make_net(16, seed=9, max_words=2)
+        with pytest.raises(MessageTooLarge):
+            run_protocol(net, distributed_sort(net, lambda v: v % 5))
+
+    def test_protocol_errors_do_not_corrupt_counters(self):
+        net = make_net(16, seed=10, max_words=2)
+        try:
+            run_protocol(net, distributed_sort(net, lambda v: v % 5))
+        except MessageTooLarge:
+            pass
+        # The network remains consistent and usable for fresh protocols
+        # with valid messages.
+        before = net.rounds
+        net.idle_round()
+        assert net.rounds == before + 1
+
+
+class TestLeaderConventions:
+    def test_aggregate_with_remote_leader(self):
+        """'A designated leader known to all nodes' (Theorem 4's setup):
+        the root must know the leader to hand the result over."""
+        net = make_net(20, seed=11)
+
+        def proto():
+            ns, root = yield from build_bbst(net)
+            members = list(net.node_ids)
+            leader = members[-1]
+            net.grant_knowledge(root, leader)  # leader is common knowledge
+            out = yield from global_aggregate(
+                net, ns, members, root, leader,
+                value_of=lambda v: 1, combine=lambda a, b: a + b,
+            )
+            return ns, out, leader
+
+        ns, out, leader = run_protocol(net, proto())
+        assert out == 20
+        from repro.primitives.protocol import ns_state
+
+        assert ns_state(net, leader, ns)["agg_result"] == 20
+
+
+class TestModerateScale:
+    def test_charged_pipeline_at_n_256(self):
+        net = make_net(256, seed=12)
+        seq = regular_sequence(256, 4)
+        result = realize_degree_sequence(
+            net, dict(zip(net.node_ids, seq)), sort_fidelity="charged"
+        )
+        assert result.realized
+        assert check_degree_match(
+            result.edges, dict(zip(net.node_ids, seq)), net.node_ids
+        )
+        assert result.phases <= 10
+
+    def test_tree_at_n_200(self):
+        seq = random_tree_sequence(200, seed=13)
+        net = make_net(200, seed=13)
+        result = realize_tree(
+            net, dict(zip(net.node_ids, seq)), variant="min_diameter",
+            sort_fidelity="charged",
+        )
+        assert result.realized
+        assert check_tree(result.edges, list(net.node_ids))
+
+    def test_overlays_accumulate_by_design(self):
+        """Composing realizations on one network accumulates edges (how
+        Algorithm 6 layers phase 2 over phase 1)."""
+        net = make_net(10, seed=14)
+        first = realize_degree_sequence(net, {v: 1 for v in net.node_ids})
+        assert first.realized
+        edges_before = set(first.edges)
+        second = realize_degree_sequence(net, {v: 1 for v in net.node_ids})
+        assert edges_before <= set(second.edges)

@@ -1,0 +1,204 @@
+"""Tests for the classical baselines, cross-checked against networkx."""
+
+import random
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sequential.connectivity import (
+    connectivity_lower_bound_edges,
+    frank_chou_realization,
+)
+from repro.sequential.envelope import discrepancy, sequential_envelope
+from repro.sequential.erdos_gallai import erdos_gallai_check, is_graphic
+from repro.sequential.havel_hakimi import degree_sequence_of, havel_hakimi
+from repro.sequential.trees import (
+    greedy_tree,
+    is_tree_realizable,
+    max_diameter_tree,
+    min_tree_diameter_bruteforce,
+    tree_diameter,
+)
+
+
+degree_lists = st.lists(st.integers(0, 12), min_size=1, max_size=14)
+
+
+class TestErdosGallai:
+    def test_known_graphic(self):
+        assert is_graphic([3, 3, 3, 3])
+        assert is_graphic([2, 2, 2])
+        assert is_graphic([0])
+        assert is_graphic([])
+        assert is_graphic([1, 1])
+
+    def test_known_non_graphic(self):
+        assert not is_graphic([3, 1])          # too large for n
+        assert not is_graphic([1, 1, 1])       # odd sum
+        assert not is_graphic([4, 4, 4, 4, 0])  # fails EG at k=4
+        assert not is_graphic([5, 1, 1, 1, 1, 1, 1])  # fails EG
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            is_graphic([2, -1])
+
+    @settings(max_examples=200, deadline=None)
+    @given(degree_lists)
+    def test_matches_networkx_oracle(self, degrees):
+        assert erdos_gallai_check(degrees) == nx.is_graphical(degrees)
+
+    @settings(max_examples=100, deadline=None)
+    @given(degree_lists)
+    def test_order_invariant(self, degrees):
+        shuffled = list(degrees)
+        random.Random(0).shuffle(shuffled)
+        assert erdos_gallai_check(degrees) == erdos_gallai_check(shuffled)
+
+
+class TestHavelHakimi:
+    @settings(max_examples=150, deadline=None)
+    @given(degree_lists)
+    def test_constructs_iff_graphic(self, degrees):
+        edges = havel_hakimi(degrees)
+        if is_graphic(degrees):
+            assert edges is not None
+            assert degree_sequence_of(edges, len(degrees)) == list(degrees)
+        else:
+            assert edges is None
+
+    def test_simple_graph_output(self):
+        edges = havel_hakimi([3, 3, 2, 2, 2])
+        graph = nx.Graph(edges)
+        assert graph.number_of_edges() == len(edges)  # no duplicates
+        assert all(u != v for u, v in edges)
+
+    def test_empty_and_zero(self):
+        assert havel_hakimi([]) == []
+        assert havel_hakimi([0, 0]) == []
+
+    def test_degree_sequence_of_rejects_bad_edges(self):
+        with pytest.raises(ValueError):
+            degree_sequence_of([(0, 0)], 2)
+        with pytest.raises(ValueError):
+            degree_sequence_of([(0, 1), (1, 0)], 2)
+
+
+class TestSequentialEnvelope:
+    @settings(max_examples=100, deadline=None)
+    @given(st.lists(st.integers(0, 9), min_size=1, max_size=10))
+    def test_envelope_guarantees(self, degrees):
+        n = len(degrees)
+        clamped = [min(d, n - 1) for d in degrees]
+        edges, realized = sequential_envelope(degrees)
+        assert all(r >= c for r, c in zip(realized, clamped))
+        assert sum(realized) <= 2 * sum(clamped)
+        graph = nx.Graph(edges)
+        assert graph.number_of_edges() == len(edges)
+
+    def test_graphic_input_zero_discrepancy(self):
+        degrees = [3, 3, 2, 2, 2]
+        edges, realized = sequential_envelope(degrees)
+        assert realized == degrees
+        assert discrepancy(degrees, realized) == 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            sequential_envelope([-1])
+
+
+@st.composite
+def tree_sequences(draw):
+    """Valid tree sequences generated constructively via Prüfer counts."""
+    n = draw(st.integers(2, 9))
+    prufer = draw(st.lists(st.integers(0, n - 1), min_size=n - 2, max_size=n - 2))
+    degrees = [1] * n
+    for x in prufer:
+        degrees[x] += 1
+    return degrees
+
+
+class TestTrees:
+    def test_realizability_condition(self):
+        assert is_tree_realizable([1, 1])
+        assert is_tree_realizable([2, 2, 1, 1])
+        assert is_tree_realizable([0])
+        assert not is_tree_realizable([2, 2, 2])
+        assert not is_tree_realizable([1, 1, 1, 1])
+        assert not is_tree_realizable([])
+        assert not is_tree_realizable([0, 1])
+
+    @settings(max_examples=60, deadline=None)
+    @given(tree_sequences())
+    def test_both_constructions_realize(self, seq):
+        n = len(seq)
+        for builder in (max_diameter_tree, greedy_tree):
+            edges = builder(seq)
+            assert edges is not None
+            graph = nx.Graph(edges)
+            graph.add_nodes_from(range(n))
+            assert nx.is_tree(graph)
+            assert sorted(dict(graph.degree).values()) == sorted(seq)
+
+    @settings(max_examples=40, deadline=None)
+    @given(tree_sequences())
+    def test_greedy_minimizes_caterpillar_maximizes(self, seq):
+        n = len(seq)
+        greedy_edges = greedy_tree(seq)
+        cat_edges = max_diameter_tree(seq)
+        dg = tree_diameter(greedy_edges, n)
+        dc = tree_diameter(cat_edges, n)
+        best = min_tree_diameter_bruteforce(seq)
+        assert dg == best
+        assert dc >= dg
+
+    def test_unrealizable_returns_none(self):
+        assert max_diameter_tree([3, 3, 1, 1]) is None
+        assert greedy_tree([2, 2, 2]) is None
+
+    def test_star_and_path_extremes(self):
+        star = [4, 1, 1, 1, 1]
+        path = [2, 2, 2, 1, 1]
+        assert tree_diameter(greedy_tree(star), 5) == 2
+        assert tree_diameter(max_diameter_tree(path), 5) == 4
+
+    def test_single_edge(self):
+        assert max_diameter_tree([1, 1]) == [(0, 1)]
+        assert greedy_tree([1, 1]) == [(0, 1)]
+
+
+class TestFrankChou:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.integers(4, 12).flatmap(
+            lambda n: st.lists(st.integers(0, min(5, n - 1)), min_size=n, max_size=n)
+        )
+    )
+    def test_thresholds_and_ratio(self, rho):
+        n = len(rho)
+        edges = frank_chou_realization(rho)
+        graph = nx.Graph(edges)
+        graph.add_nodes_from(range(n))
+        for u in range(n):
+            for v in range(u + 1, n):
+                need = min(rho[u], rho[v])
+                if need:
+                    assert (
+                        nx.algorithms.connectivity.local_edge_connectivity(graph, u, v)
+                        >= need
+                    )
+        assert len(edges) <= sum(rho)  # 2-approximation
+
+    def test_lower_bound(self):
+        assert connectivity_lower_bound_edges([3, 2, 1]) == 3
+        assert connectivity_lower_bound_edges([0, 0]) == 0
+
+    def test_infeasible_rejected(self):
+        with pytest.raises(ValueError):
+            frank_chou_realization([5, 1, 1])
+        with pytest.raises(ValueError):
+            frank_chou_realization([-1, 0])
+
+    def test_zero_demands(self):
+        assert frank_chou_realization([0, 0, 0]) == []

@@ -1,0 +1,169 @@
+"""Tests for the distributed mergesort (Algorithm 2, Theorem 3)."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.primitives.path_ops import path_members_from
+from repro.primitives.protocol import ns_state, run_protocol
+from repro.primitives.sorting import Run, distributed_sort
+
+from tests.conftest import make_net
+
+
+def sort_and_check(n, values, seed=0, fidelity="full"):
+    net = make_net(n, seed=seed)
+    ids = list(net.node_ids)
+    table = dict(zip(ids, values))
+    ns, order = run_protocol(
+        net, distributed_sort(net, lambda v: table[v], fidelity=fidelity)
+    )
+    expect = sorted(ids, key=lambda v: (table[v], v))
+    assert order == expect
+    # The path pointers must agree with the returned order.
+    assert path_members_from(net, ns, order[0]) == order
+    for i, v in enumerate(order):
+        state = ns_state(net, v, ns)
+        assert state["pred"] == (order[i - 1] if i > 0 else None)
+        assert state["succ"] == (order[i + 1] if i < n - 1 else None)
+    return net
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("n", [1, 2, 3, 4, 5, 8, 13, 21, 40])
+    def test_random_values(self, n):
+        rng = random.Random(n)
+        sort_and_check(n, [rng.randrange(100) for _ in range(n)], seed=n)
+
+    def test_already_sorted(self):
+        sort_and_check(16, list(range(16)))
+
+    def test_reverse_sorted(self):
+        sort_and_check(16, list(range(16, 0, -1)))
+
+    def test_all_equal_ties_break_by_id(self):
+        net = sort_and_check(20, [7] * 20)
+
+    def test_two_distinct_values(self):
+        sort_and_check(24, [1 if i % 3 else 0 for i in range(24)])
+
+    def test_negative_values(self):
+        sort_and_check(10, [5, -3, 0, -3, 12, -100, 7, 7, -1, 2])
+
+    @settings(max_examples=15, deadline=None)
+    @given(values=st.lists(st.integers(-1000, 1000), min_size=1, max_size=24))
+    def test_property_random_lists(self, values):
+        sort_and_check(len(values), values, seed=len(values))
+
+
+class TestSubsetSort:
+    def test_sorts_a_subpath(self):
+        net = make_net(20, seed=3)
+        ids = list(net.node_ids)
+        sub = ids[4:12]
+        rng = random.Random(9)
+        table = {v: rng.randrange(50) for v in sub}
+
+        def proto():
+            # Undirectify first so both directions are known, then carve
+            # the sub-path pointers (as a sorted path provides in Alg 6).
+            from repro.primitives.path_ops import build_undirected_path
+
+            yield from build_undirected_path(net, "base")
+            for i, v in enumerate(sub):
+                state = ns_state(net, v, "carve")
+                state["pred"] = sub[i - 1] if i > 0 else None
+                state["succ"] = sub[i + 1] if i < len(sub) - 1 else None
+            ns, order = yield from distributed_sort(
+                net,
+                lambda v: table[v],
+                members=sub,
+                path_ns="carve",
+                head=sub[0],
+            )
+            return order
+
+        order = run_protocol(net, proto())
+        assert order == sorted(sub, key=lambda v: (table[v], v))
+
+
+class TestChargedFidelity:
+    def test_same_output_as_full(self):
+        rng = random.Random(4)
+        values = [rng.randrange(30) for _ in range(24)]
+        net_full = make_net(24, seed=5)
+        net_charged = make_net(24, seed=5)
+        ids = list(net_full.node_ids)
+        table = dict(zip(ids, values))
+        _, order_full = run_protocol(
+            net_full, distributed_sort(net_full, lambda v: table[v], fidelity="full")
+        )
+        _, order_charged = run_protocol(
+            net_charged,
+            distributed_sort(net_charged, lambda v: table[v], fidelity="charged"),
+        )
+        assert order_full == order_charged
+
+    def test_charged_rounds_upper_bound_full(self):
+        """The charged cost must dominate the measured full cost."""
+        for n in (16, 64):
+            rng = random.Random(n)
+            values = [rng.randrange(n) for _ in range(n)]
+            net_full = make_net(n, seed=6)
+            table = dict(zip(net_full.node_ids, values))
+            run_protocol(
+                net_full, distributed_sort(net_full, lambda v: table[v])
+            )
+            net_charged = make_net(n, seed=6)
+            table2 = dict(zip(net_charged.node_ids, values))
+            run_protocol(
+                net_charged,
+                distributed_sort(net_charged, lambda v: table2[v], fidelity="charged"),
+            )
+            assert net_charged.charged_rounds >= net_full.simulated_rounds
+
+    def test_charged_grants_path_knowledge(self):
+        net = make_net(12, seed=7)
+        table = {v: i % 3 for i, v in enumerate(net.node_ids)}
+        ns, order = run_protocol(
+            net, distributed_sort(net, lambda v: table[v], fidelity="charged")
+        )
+        for a, b in zip(order, order[1:]):
+            assert net.knows(a, b) and net.knows(b, a)
+
+    def test_unknown_fidelity_rejected(self):
+        net = make_net(4)
+        with pytest.raises(ValueError):
+            run_protocol(net, distributed_sort(net, lambda v: 0, fidelity="bogus"))
+
+
+class TestComplexity:
+    def test_rounds_polylog_shape(self):
+        """Theorem 3: rounds / log^3(n) stays bounded as n grows."""
+        ratios = []
+        for n in (16, 64, 256):
+            net = make_net(n, seed=8)
+            rng = random.Random(n)
+            table = {v: rng.randrange(n) for v in net.node_ids}
+            run_protocol(net, distributed_sort(net, lambda v: table[v]))
+            ratios.append(net.rounds / math.log2(n) ** 3)
+        assert ratios[-1] <= ratios[0] * 1.35
+
+    def test_caps_never_violated(self):
+        """Strict enforcement active during the entire sort (implicit)."""
+        net = make_net(48, seed=9)
+        rng = random.Random(11)
+        table = {v: rng.randrange(10) for v in net.node_ids}
+        run_protocol(net, distributed_sort(net, lambda v: table[v]))
+        # reaching here without RecvCapExceeded/SendCapExceeded is the test
+        assert net.max_round_load <= net.recv_cap
+
+
+class TestRunHandles:
+    def test_run_constructors(self):
+        assert Run.empty().length == 0
+        single = Run.singleton(7)
+        assert (single.head, single.tail, single.length) == (7, 7, 1)

@@ -1,0 +1,199 @@
+"""Tests for structural primitives: path ops, Figure-1 tree, BBST (Thm 1)."""
+
+import math
+
+import pytest
+
+from repro.ncc.errors import ProtocolError
+from repro.primitives.bbst import (
+    build_bbst,
+    build_indexed_path,
+    build_levels,
+    level_paths,
+)
+from repro.primitives.binary_tree import (
+    build_warmup_binary_tree,
+    tree_children,
+    tree_height,
+    tree_nodes,
+)
+from repro.primitives.path_ops import build_undirected_path, path_members_from
+from repro.primitives.protocol import ns_state, run_protocol
+
+from tests.conftest import inorder_of, make_net
+
+
+class TestUndirectedPath:
+    def test_pointers_both_ways(self):
+        net = make_net(6)
+        head = run_protocol(net, build_undirected_path(net, "p"))
+        ids = list(net.node_ids)
+        assert head == ids[0]
+        for i, v in enumerate(ids):
+            state = ns_state(net, v, "p")
+            assert state["pred"] == (ids[i - 1] if i > 0 else None)
+            assert state["succ"] == (ids[i + 1] if i < len(ids) - 1 else None)
+        assert net.rounds == 1
+
+    def test_walk_members(self):
+        net = make_net(5)
+        head = run_protocol(net, build_undirected_path(net, "p"))
+        assert path_members_from(net, "p", head) == list(net.node_ids)
+
+    def test_single_node(self):
+        net = make_net(1)
+        head = run_protocol(net, build_undirected_path(net, "p"))
+        assert head == net.node_ids[0]
+
+
+class TestWarmupTree:
+    @pytest.mark.parametrize("n", [1, 2, 3, 4, 5, 8, 13, 16, 33, 64, 100])
+    def test_binary_spanning_balanced(self, n):
+        net = make_net(n, seed=n)
+        root = run_protocol(net, build_warmup_binary_tree(net, "wb"))
+        nodes = tree_nodes(net, "wb", root)
+        assert sorted(nodes) == sorted(net.node_ids)
+        for v in net.node_ids:
+            assert len(tree_children(net, "wb", v)) <= 2
+        height = tree_height(net, "wb", root)
+        assert height <= math.ceil(math.log2(max(2, n))) + 1
+
+    def test_rounds_logarithmic(self):
+        rounds = []
+        for n in (16, 64, 256):
+            net = make_net(n, seed=3)
+            run_protocol(net, build_warmup_binary_tree(net, "wb"))
+            rounds.append(net.rounds / math.log2(n))
+        # per-log cost must not grow.
+        assert rounds[-1] <= rounds[0] * 1.5
+
+    def test_figure_1_example_structure(self):
+        """The paper's 8-node example: r adopts a=succ, b=succ's succ."""
+        net = make_net(8, seed=0)
+        ids = list(net.node_ids)  # path order 1..8 in figure terms
+        root = run_protocol(net, build_warmup_binary_tree(net, "wb"))
+        label = {v: i + 1 for i, v in enumerate(ids)}
+
+        def kids(v):
+            return sorted(label[c] for c in tree_children(net, "wb", v))
+
+        assert label[root] == 1
+        assert kids(ids[0]) == [2, 3]      # 1 -> {2, 3}
+        assert kids(ids[1]) == [4, 6]      # 2 -> {4, 6}
+        assert kids(ids[2]) == [5, 7]      # 3 -> {5, 7}
+        assert kids(ids[3]) == [8]         # 4 -> {8}
+
+
+class TestBBST:
+    @pytest.mark.parametrize("n", [1, 2, 3, 4, 7, 8, 9, 16, 31, 64, 128])
+    def test_inorder_is_path_order(self, n):
+        net = make_net(n, seed=n)
+        ns, root = run_protocol(net, build_bbst(net))
+        assert inorder_of(net, ns, root) == list(net.node_ids)
+
+    @pytest.mark.parametrize("n", [2, 8, 17, 64, 200])
+    def test_height_bound(self, n):
+        net = make_net(n, seed=n)
+        ns, root = run_protocol(net, build_bbst(net))
+        depth = {root: 0}
+        stack = [root]
+        while stack:
+            v = stack.pop()
+            state = ns_state(net, v, ns)
+            for c in (state.get("left"), state.get("right")):
+                if c is not None:
+                    depth[c] = depth[v] + 1
+                    stack.append(c)
+        assert max(depth.values()) <= math.ceil(math.log2(n)) + 1
+        assert len(depth) == n
+
+    def test_root_is_path_head(self):
+        net = make_net(20, seed=4)
+        ns, root = run_protocol(net, build_bbst(net))
+        assert root == net.node_ids[0]
+
+    def test_rounds_logarithmic(self):
+        per_log = []
+        for n in (16, 64, 256):
+            net = make_net(n, seed=5)
+            run_protocol(net, build_bbst(net))
+            per_log.append(net.rounds / math.log2(n))
+        assert per_log[-1] <= per_log[0] * 1.5
+
+    def test_figure_2_example(self):
+        """n=8: levels of L are the interleaved paths; tree matches Fig 2."""
+        net = make_net(8, seed=0)
+        ns, root = run_protocol(net, build_bbst(net))
+        ids = list(net.node_ids)
+        label = {v: i + 1 for i, v in enumerate(ids)}
+
+        paths_l1 = level_paths(net, ns, ids, 1)
+        labelled = sorted(tuple(label[v] for v in p) for p in paths_l1)
+        assert labelled == [(1, 3, 5, 7), (2, 4, 6, 8)]
+
+        paths_l2 = level_paths(net, ns, ids, 2)
+        labelled2 = sorted(tuple(label[v] for v in p) for p in paths_l2)
+        assert labelled2 == [(1, 5), (2, 6), (3, 7), (4, 8)]
+
+        # Fig 2 tree: 1 -> right 5; 5 -> {3, 7}; 3 -> {2, 4}; 7 -> {6, 8}.
+        def lr(v):
+            state = ns_state(net, v, ns)
+            left = label[state["left"]] if state["left"] else None
+            right = label[state["right"]] if state["right"] else None
+            return left, right
+
+        assert label[root] == 1
+        assert lr(ids[0]) == (None, 5)
+        assert lr(ids[4]) == (3, 7)
+        assert lr(ids[2]) == (2, 4)
+        assert lr(ids[6]) == (6, 8)
+
+    def test_levels_connect_distance_2i(self):
+        net = make_net(32, seed=6)
+        ns, root = run_protocol(net, build_bbst(net))
+        ids = list(net.node_ids)
+        for i in (1, 2, 3, 4):
+            stride = 1 << i
+            for pos, v in enumerate(ids):
+                state = ns_state(net, v, ns)
+                expect_succ = ids[pos + stride] if pos + stride < len(ids) else None
+                assert state.get(f"ls{i}") == expect_succ
+
+    def test_indexed_path_positions_and_ranges(self):
+        net = make_net(25, seed=7)
+
+        def proto():
+            head = yield from build_undirected_path(net, "ip")
+            root = yield from build_indexed_path(
+                net, "ip", list(net.node_ids), head, publish_root=True
+            )
+            return root
+
+        root = run_protocol(net, proto())
+        ids = list(net.node_ids)
+        for pos, v in enumerate(ids):
+            state = ns_state(net, v, "ip")
+            assert state["pos"] == pos
+            lo, hi = state["range"]
+            assert lo <= pos <= hi
+            assert state["total"] == 25
+            assert state["root_id"] == root
+
+    def test_bbst_on_subpath(self):
+        """The construction generalizes to sub-paths (mergesort runs)."""
+        net = make_net(20, seed=8)
+        ids = list(net.node_ids)
+        sub = ids[5:14]
+
+        def proto():
+            yield from build_undirected_path(net, "all")
+            # carve the sub-path
+            for i, v in enumerate(sub):
+                state = ns_state(net, v, "sub")
+                state["pred"] = sub[i - 1] if i > 0 else None
+                state["succ"] = sub[i + 1] if i < len(sub) - 1 else None
+            ns, root = yield from build_bbst(net, ns="sub", members=sub, head=sub[0])
+            return ns, root
+
+        ns, root = run_protocol(net, proto())
+        assert inorder_of(net, ns, root) == sub

@@ -1,0 +1,257 @@
+"""Tests for tree traversal protocols (Cor 2) and prefix sums."""
+
+import pytest
+
+from repro.ncc.errors import ProtocolError
+from repro.primitives.bbst import build_bbst
+from repro.primitives.broadcast import global_aggregate, global_broadcast
+from repro.primitives.collection import global_collect
+from repro.primitives.path_ops import build_undirected_path
+from repro.primitives.prefix import prefix_sums
+from repro.primitives.protocol import ns_state, run_protocol
+from repro.primitives.traversal import (
+    annotate_positions,
+    broadcast_from_root,
+    compute_subtree_sizes,
+    find_median,
+    node_at_position,
+    report_to_root,
+)
+
+from tests.conftest import make_net
+
+
+def build_annotated(net, publish=False):
+    def proto():
+        ns, root = yield from build_bbst(net)
+        members = list(net.node_ids)
+        yield from compute_subtree_sizes(net, ns, members)
+        yield from annotate_positions(net, ns, members, root)
+        return ns, root
+
+    return run_protocol(net, proto())
+
+
+class TestSizesAndPositions:
+    @pytest.mark.parametrize("n", [1, 2, 5, 16, 33])
+    def test_positions_match_path_order(self, n):
+        net = make_net(n, seed=n)
+        ns, root = build_annotated(net)
+        for pos, v in enumerate(net.node_ids):
+            assert ns_state(net, v, ns)["pos"] == pos
+
+    def test_root_size_is_n(self):
+        net = make_net(21, seed=1)
+        ns, root = build_annotated(net)
+        assert ns_state(net, root, ns)["size"] == 21
+
+    def test_subtree_sizes_consistent(self):
+        net = make_net(18, seed=2)
+        ns, root = build_annotated(net)
+        for v in net.node_ids:
+            state = ns_state(net, v, ns)
+            assert state["size"] == 1 + state["lsize"] + state["rsize"]
+
+    def test_node_at_position(self):
+        net = make_net(9, seed=3)
+        ns, root = build_annotated(net)
+        for pos, v in enumerate(net.node_ids):
+            assert node_at_position(net, ns, list(net.node_ids), pos) == v
+        with pytest.raises(KeyError):
+            node_at_position(net, ns, list(net.node_ids), 99)
+
+
+class TestMedian:
+    @pytest.mark.parametrize("n", [1, 2, 3, 10, 17, 32])
+    def test_median_correct_and_common_knowledge(self, n):
+        net = make_net(n, seed=n)
+
+        def proto():
+            ns, root = yield from build_bbst(net)
+            members = list(net.node_ids)
+            yield from compute_subtree_sizes(net, ns, members)
+            yield from annotate_positions(net, ns, members, root)
+            median = yield from find_median(net, ns, members, root)
+            return ns, median
+
+        ns, median = run_protocol(net, proto())
+        assert median == net.node_ids[(n - 1) // 2]
+        for v in net.node_ids:
+            assert ns_state(net, v, ns)["median"] == median
+
+
+class TestReportAndBroadcast:
+    def test_report_to_root_escalates_payload(self):
+        net = make_net(12, seed=4)
+
+        def proto():
+            ns, root = yield from build_bbst(net)
+            members = list(net.node_ids)
+            yield from compute_subtree_sizes(net, ns, members)
+            yield from annotate_positions(net, ns, members, root)
+            target = members[7]
+            ids, data = yield from report_to_root(
+                net, ns, members, root,
+                matches=lambda v: v == target,
+                payload=lambda v: ((v,), (99,)),
+            )
+            return ids, data, target
+
+        ids, data, target = run_protocol(net, proto())
+        assert ids == (target,)
+        assert data == (99,)
+
+    def test_report_requires_unique_match(self):
+        net = make_net(6, seed=5)
+
+        def proto():
+            ns, root = yield from build_bbst(net)
+            members = list(net.node_ids)
+            yield from report_to_root(
+                net, ns, members, root,
+                matches=lambda v: True,  # everyone matches: invalid
+                payload=lambda v: ((v,), ()),
+            )
+
+        with pytest.raises(ProtocolError):
+            run_protocol(net, proto())
+
+    def test_broadcast_reaches_all(self):
+        net = make_net(15, seed=6)
+
+        def proto():
+            ns, root = yield from build_bbst(net)
+            members = list(net.node_ids)
+            yield from broadcast_from_root(
+                net, ns, members, root, key="news", value=(1, 2), value_ids=(root,)
+            )
+            return ns, root
+
+        ns, root = run_protocol(net, proto())
+        for v in net.node_ids:
+            assert ns_state(net, v, ns)["news"] == ((root,), (1, 2))
+
+
+class TestGlobalPrimitives:
+    def test_broadcast_from_any_leader(self):
+        net = make_net(20, seed=7)
+
+        def proto():
+            ns, root = yield from build_bbst(net)
+            members = list(net.node_ids)
+            yield from compute_subtree_sizes(net, ns, members)
+            yield from annotate_positions(net, ns, members, root)
+            leader = members[13]
+            net.grant_knowledge(leader, root)  # leader knows the root handle
+            token = yield from global_broadcast(
+                net, ns, members, root, leader, value=(42,)
+            )
+            return ns, token
+
+        ns, token = run_protocol(net, proto())
+        assert token == ((), (42,))
+        for v in net.node_ids:
+            assert ns_state(net, v, ns)["bc_token"] == ((), (42,))
+
+    @pytest.mark.parametrize(
+        "combine,expect",
+        [(lambda a, b: a + b, sum(range(24))), (max, 23), (min, 0)],
+    )
+    def test_aggregate_distributive_functions(self, combine, expect):
+        net = make_net(24, seed=8)
+        position = {v: i for i, v in enumerate(net.node_ids)}
+
+        def proto():
+            ns, root = yield from build_bbst(net)
+            members = list(net.node_ids)
+            out = yield from global_aggregate(
+                net, ns, members, root, leader=root,
+                value_of=lambda v: position[v], combine=combine,
+            )
+            return out
+
+        assert run_protocol(net, proto()) == expect
+
+    @pytest.mark.parametrize("k", [1, 5, 20])
+    def test_global_collect_k_tokens(self, k):
+        net = make_net(30, seed=9)
+        ids = list(net.node_ids)
+        holders = {ids[i * (29 // max(1, k - 1)) if k > 1 else 0]: ((ids[0],), (i,))
+                   for i in range(k)}
+
+        def proto():
+            ns, root = yield from build_bbst(net)
+            members = list(net.node_ids)
+            out = yield from global_collect(
+                net, ns, members, root, leader=root, holders=holders
+            )
+            return out
+
+        collected = run_protocol(net, proto())
+        assert len(collected) == len(holders)
+        assert sorted(d for _ids, d in collected) == sorted(
+            d for _ids, d in holders.values()
+        )
+
+    def test_collect_rounds_linear_in_k_plus_log(self):
+        """Theorem 5 shape: rounds = O(k + log n)."""
+        import math
+
+        costs = {}
+        for k in (4, 16, 64):
+            net = make_net(128, seed=10)
+            ids = list(net.node_ids)
+            holders = {ids[i]: ((ids[i],), (i,)) for i in range(1, k + 1)}
+
+            def proto():
+                ns, root = yield from build_bbst(net)
+                members = list(net.node_ids)
+                base = net.rounds
+                out = yield from global_collect(
+                    net, ns, members, root, leader=root, holders=holders
+                )
+                return net.rounds - base
+
+            costs[k] = run_protocol(net, proto())
+        log_n = math.log2(128)
+        for k, rounds in costs.items():
+            assert rounds <= 4 * (k + 4 * log_n), (k, rounds)
+
+
+class TestPrefixSums:
+    @pytest.mark.parametrize("n", [2, 3, 9, 16, 30])
+    def test_prefix_of_positions(self, n):
+        net = make_net(n, seed=n)
+        position = {v: i for i, v in enumerate(net.node_ids)}
+
+        def proto():
+            ns, root = yield from build_bbst(net)
+            members = list(net.node_ids)
+            yield from compute_subtree_sizes(net, ns, members)
+            yield from annotate_positions(net, ns, members, root)
+            total = yield from prefix_sums(
+                net, ns, members, root, value_of=lambda v: position[v] + 1
+            )
+            return ns, total
+
+        ns, total = run_protocol(net, proto())
+        assert total == n * (n + 1) // 2
+        for v in net.node_ids:
+            i = position[v]
+            assert ns_state(net, v, ns)["prefix"] == i * (i + 1) // 2
+
+    def test_prefix_with_zero_values(self):
+        net = make_net(8, seed=1)
+
+        def proto():
+            ns, root = yield from build_bbst(net)
+            members = list(net.node_ids)
+            yield from compute_subtree_sizes(net, ns, members)
+            yield from annotate_positions(net, ns, members, root)
+            total = yield from prefix_sums(net, ns, members, root, value_of=lambda v: 0)
+            return ns, total
+
+        ns, total = run_protocol(net, proto())
+        assert total == 0
+        for v in net.node_ids:
+            assert ns_state(net, v, ns)["prefix"] == 0

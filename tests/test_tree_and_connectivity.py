@@ -1,0 +1,241 @@
+"""Tests for tree realizations (Thms 14/16) and connectivity (Thms 17/18)."""
+
+import random
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.connectivity import (
+    connectivity_lower_bound,
+    realize_connectivity_ncc0,
+    realize_connectivity_ncc1,
+)
+from repro.core.tree_realization import realize_tree
+from repro.ncc.errors import ProtocolError
+from repro.sequential import is_tree_realizable, min_tree_diameter_bruteforce
+from repro.validation import (
+    check_connectivity_thresholds,
+    check_explicit,
+    check_implicit,
+    check_tree,
+)
+from repro.workloads import (
+    balanced_tree_sequence,
+    bimodal_rho,
+    caterpillar_sequence,
+    path_sequence,
+    power_law_rho,
+    random_tree_sequence,
+    star_sequence,
+    uniform_rho,
+)
+
+from tests.conftest import make_ncc1, make_net
+
+
+@st.composite
+def tree_sequences(draw):
+    n = draw(st.integers(2, 9))
+    prufer = draw(st.lists(st.integers(0, n - 1), min_size=n - 2, max_size=n - 2))
+    degrees = [1] * n
+    for x in prufer:
+        degrees[x] += 1
+    return degrees
+
+
+class TestTreeRealization:
+    @pytest.mark.parametrize(
+        "maker",
+        [star_sequence, path_sequence, random_tree_sequence, balanced_tree_sequence,
+         caterpillar_sequence],
+    )
+    @pytest.mark.parametrize("variant", ["max_diameter", "min_diameter"])
+    def test_workload_families(self, maker, variant):
+        seq = maker(14)
+        assert is_tree_realizable(seq)
+        net = make_net(14, seed=7)
+        demands = dict(zip(net.node_ids, seq))
+        result = realize_tree(net, demands, variant=variant)
+        assert result.realized
+        assert check_tree(result.edges, list(net.node_ids))
+        assert result.realized_degrees == demands
+        assert check_implicit(net)
+
+    @settings(max_examples=20, deadline=None)
+    @given(tree_sequences())
+    def test_property_valid_trees(self, seq):
+        for variant in ("max_diameter", "min_diameter"):
+            net = make_net(len(seq), seed=sum(seq))
+            demands = dict(zip(net.node_ids, seq))
+            result = realize_tree(net, demands, variant=variant)
+            assert result.realized
+            assert check_tree(result.edges, list(net.node_ids))
+            assert result.realized_degrees == demands
+
+    @settings(max_examples=15, deadline=None)
+    @given(tree_sequences())
+    def test_min_diameter_is_optimal(self, seq):
+        net = make_net(len(seq), seed=1)
+        demands = dict(zip(net.node_ids, seq))
+        result = realize_tree(net, demands, variant="min_diameter")
+        assert result.diameter == min_tree_diameter_bruteforce(seq)
+
+    @settings(max_examples=15, deadline=None)
+    @given(tree_sequences())
+    def test_diameter_ordering(self, seq):
+        diameters = {}
+        for variant in ("max_diameter", "min_diameter"):
+            net = make_net(len(seq), seed=2)
+            demands = dict(zip(net.node_ids, seq))
+            diameters[variant] = realize_tree(net, demands, variant=variant).diameter
+        assert diameters["min_diameter"] <= diameters["max_diameter"]
+
+    @pytest.mark.parametrize(
+        "seq", [[2, 2, 2], [1, 1, 1, 1], [3, 3, 1, 1], [0, 1]]
+    )
+    def test_unrealizable_announced(self, seq):
+        assert not is_tree_realizable(seq)
+        net = make_net(len(seq), seed=3)
+        demands = dict(zip(net.node_ids, seq))
+        result = realize_tree(net, demands)
+        assert not result.realized
+        assert len(result.announced_unrealizable_by) >= 1
+
+    def test_trivial_sizes(self):
+        net = make_net(1, seed=4)
+        result = realize_tree(net, {net.node_ids[0]: 0})
+        assert result.realized and result.diameter == 0
+
+        net = make_net(2, seed=5)
+        result = realize_tree(net, dict(zip(net.node_ids, (1, 1))))
+        assert result.realized and result.num_edges == 1
+
+    def test_invalid_variant_rejected(self):
+        net = make_net(4, seed=6)
+        with pytest.raises(ValueError):
+            realize_tree(net, {v: 1 for v in net.node_ids}, variant="bogus")
+
+    def test_star_diameter_two(self):
+        seq = star_sequence(10)
+        net = make_net(10, seed=7)
+        result = realize_tree(net, dict(zip(net.node_ids, seq)), variant="min_diameter")
+        assert result.diameter == 2
+
+    def test_path_diameter_n_minus_one(self):
+        seq = path_sequence(9)
+        net = make_net(9, seed=8)
+        result = realize_tree(net, dict(zip(net.node_ids, seq)), variant="max_diameter")
+        assert result.diameter == 8
+
+
+def validate_connectivity(net, rho, result):
+    assert check_connectivity_thresholds(result.edges, rho, list(net.node_ids))
+    assert result.num_edges <= sum(rho.values())  # 2-approximation
+    assert result.lower_bound_edges == connectivity_lower_bound(rho)
+    assert result.approximation_ratio <= 2.0 + 1e-9
+
+
+class TestConnectivityNCC1:
+    @pytest.mark.parametrize(
+        "maker,args",
+        [
+            (uniform_rho, (3,)),
+            (bimodal_rho, (5, 1)),
+            (power_law_rho, (6,)),
+        ],
+    )
+    def test_thresholds_hold(self, maker, args):
+        n = 14
+        net = make_ncc1(n, seed=1)
+        values = maker(n, *args)
+        rho = dict(zip(net.node_ids, values))
+        result = realize_connectivity_ncc1(net, rho)
+        validate_connectivity(net, rho, result)
+        assert check_implicit(net)
+        assert result.hub is not None
+        assert rho[result.hub] == max(rho.values())
+
+    def test_hub_adjacent_to_everyone_with_demand(self):
+        net = make_ncc1(10, seed=2)
+        rho = {v: 2 for v in net.node_ids}
+        result = realize_connectivity_ncc1(net, rho)
+        graph = nx.Graph(result.edges)
+        assert graph.degree(result.hub) == 9
+
+    def test_rounds_independent_of_demands(self):
+        """Theorem 17: Õ(1) — rounds don't grow with rho."""
+        rounds = []
+        for value in (1, 4, 8):
+            net = make_ncc1(12, seed=3)
+            rho = dict(zip(net.node_ids, uniform_rho(12, value)))
+            result = realize_connectivity_ncc1(net, rho)
+            rounds.append(result.stats.rounds)
+        assert rounds[0] == rounds[1] == rounds[2]
+
+    def test_requires_ncc1(self):
+        net = make_net(8, seed=4)
+        rho = {v: 2 for v in net.node_ids}
+        with pytest.raises(ProtocolError):
+            realize_connectivity_ncc1(net, rho)
+
+    def test_infeasible_rho_rejected(self):
+        net = make_ncc1(6, seed=5)
+        rho = {v: 6 for v in net.node_ids}  # > n-1
+        with pytest.raises(ProtocolError):
+            realize_connectivity_ncc1(net, rho)
+
+    def test_zero_demands(self):
+        net = make_ncc1(6, seed=6)
+        rho = {v: 0 for v in net.node_ids}
+        result = realize_connectivity_ncc1(net, rho)
+        assert result.num_edges == 0
+
+
+class TestConnectivityNCC0:
+    @pytest.mark.parametrize(
+        "maker,args",
+        [
+            (uniform_rho, (2,)),
+            (bimodal_rho, (4, 1)),
+            (power_law_rho, (5,)),
+        ],
+    )
+    def test_thresholds_hold_and_explicit(self, maker, args):
+        n = 13
+        net = make_net(n, seed=7)
+        values = maker(n, *args)
+        rho = dict(zip(net.node_ids, values))
+        result = realize_connectivity_ncc0(net, rho)
+        validate_connectivity(net, rho, result)
+        assert result.explicit
+        assert check_explicit(net)
+
+    @settings(max_examples=8, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_property_random_demands(self, seed):
+        rng = random.Random(seed)
+        n = rng.randrange(6, 12)
+        net = make_net(n, seed=seed)
+        rho = {v: rng.randrange(0, min(5, n - 1)) for v in net.node_ids}
+        result = realize_connectivity_ncc0(net, rho)
+        validate_connectivity(net, rho, result)
+        assert check_explicit(net)
+
+    def test_works_in_ncc1_too(self):
+        net = make_ncc1(10, seed=8)
+        rho = {v: 2 for v in net.node_ids}
+        result = realize_connectivity_ncc0(net, rho)
+        validate_connectivity(net, rho, result)
+
+    def test_single_node(self):
+        net = make_net(1, seed=9)
+        result = realize_connectivity_ncc0(net, {net.node_ids[0]: 0})
+        assert result.num_edges == 0
+
+    def test_caps_respected(self):
+        net = make_net(20, seed=10)
+        rho = dict(zip(net.node_ids, bimodal_rho(20, 6, 2)))
+        realize_connectivity_ncc0(net, rho)
+        assert net.max_round_load <= net.recv_cap
