@@ -18,6 +18,7 @@ become measurable quantities.
 """
 
 from repro.ncc.config import EnforcementMode, NCCConfig, Variant
+from repro.ncc.engine import ENGINES, FastEngine, ReferenceEngine, make_engine
 from repro.ncc.errors import (
     MessageTooLarge,
     NCCError,
@@ -39,7 +40,9 @@ from repro.ncc.metrics import RoundStats
 from repro.ncc.network import Network, RoundPlan
 
 __all__ = [
+    "ENGINES",
     "EnforcementMode",
+    "FastEngine",
     "IdSpace",
     "Message",
     "MessageTooLarge",
@@ -48,6 +51,7 @@ __all__ = [
     "Network",
     "ProtocolError",
     "RecvCapExceeded",
+    "ReferenceEngine",
     "RoundPlan",
     "RoundStats",
     "SendCapExceeded",
@@ -56,6 +60,7 @@ __all__ = [
     "Variant",
     "complete_knowledge",
     "cycle_knowledge",
+    "make_engine",
     "path_knowledge",
     "random_tree_knowledge",
 ]

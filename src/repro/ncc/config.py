@@ -74,6 +74,12 @@ class NCCConfig:
         multiple words (size accounting, see :mod:`repro.ncc.message`).
     enforcement:
         Receive-cap behaviour, see :class:`EnforcementMode`.
+    engine:
+        Round-execution engine: ``"fast"`` (default — batched delivery
+        with memoized size accounting and amortized cap checks) or
+        ``"reference"`` (the per-message executable specification).
+        Both enforce identical semantics and report bit-identical
+        metrics; see :mod:`repro.ncc.engine`.
     id_space_exponent:
         IDs are drawn from ``[1, n**id_space_exponent]`` (the paper's
         ``[1, n^c]``).
@@ -92,6 +98,7 @@ class NCCConfig:
     max_words: int = 6
     word_value_bits_factor: float = 2.0
     enforcement: EnforcementMode = EnforcementMode.STRICT
+    engine: str = "fast"
     id_space_exponent: int = 3
     random_ids: bool = True
     seed: int = 0

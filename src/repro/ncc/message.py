@@ -20,6 +20,7 @@ message.
 from __future__ import annotations
 
 import math
+import sys
 from dataclasses import dataclass, field
 from typing import Any, Tuple
 
@@ -79,5 +80,11 @@ class Message:
 
 
 def msg(kind: str, *, ids: Tuple[int, ...] = (), data: Tuple[Any, ...] = ()) -> Message:
-    """Terse constructor used throughout protocol code."""
-    return Message(kind=kind, ids=tuple(ids), data=tuple(data))
+    """Terse constructor used throughout protocol code.
+
+    The header is interned: protocol namespaces re-create the same
+    ``"<ns>:<tag>"`` strings at every round, and interning collapses them
+    to one shared object (kind comparisons then usually short-circuit on
+    identity).
+    """
+    return Message(kind=sys.intern(kind), ids=tuple(ids), data=tuple(data))

@@ -20,6 +20,11 @@ The network also meters rounds, messages and words so round-complexity
 theorems are measurable, and supports *charged* rounds: a validated
 primitive may compute its result directly and charge its known round cost
 (``fidelity="charged"``), which the metrics report separately.
+
+Round execution is delegated to a pluggable engine
+(:mod:`repro.ncc.engine`): ``NCCConfig.engine = "fast"`` (default) runs
+the batched fast path, ``"reference"`` the per-message executable spec.
+Both enforce identical semantics and report bit-identical metrics.
 """
 
 from __future__ import annotations
@@ -30,14 +35,8 @@ from collections import defaultdict, deque
 from contextlib import contextmanager
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
-from repro.ncc.config import DEFAULT_CONFIG, EnforcementMode, NCCConfig, Variant
-from repro.ncc.errors import (
-    MessageTooLarge,
-    ProtocolError,
-    RecvCapExceeded,
-    SendCapExceeded,
-    UnknownRecipientError,
-)
+from repro.ncc.config import DEFAULT_CONFIG, NCCConfig, Variant
+from repro.ncc.engine import make_engine
 from repro.ncc.ids import IdSpace
 from repro.ncc.knowledge import KnowledgeGraph, knowledge_for_variant
 from repro.ncc.message import Message
@@ -117,8 +116,10 @@ class Network:
         )
         if knowledge is None:
             knowledge = knowledge_for_variant(self.ids.ids, config.variant)
+        # Knowing yourself is implicit; self-entries are normalised away
+        # (the engines rely on dst never appearing in known[dst]).
         self.known: Dict[int, set] = {
-            v: set(knowledge.get(v, ())) for v in self.ids.ids
+            v: {u for u in knowledge.get(v, ()) if u != v} for v in self.ids.ids
         }
         self.mem: Dict[int, Dict[str, Any]] = {v: {} for v in self.ids.ids}
         self.rng = random.Random(config.seed ^ 0x9E3779B9)
@@ -136,6 +137,9 @@ class Network:
 
         # Deferred-delivery queues (EnforcementMode.DEFER).
         self._deferred: Dict[int, deque] = defaultdict(deque)
+
+        # Round-execution engine (config.engine: "fast" | "reference").
+        self.engine = make_engine(config.engine, self)
 
     # ------------------------------------------------------------------ #
     # Topology / identity helpers                                        #
@@ -177,58 +181,11 @@ class Network:
         Validates every send, applies enforcement, updates knowledge sets,
         advances the round counter, and returns the per-node inboxes.
         Deferred messages from previous rounds (defer mode) are delivered
-        first, consuming receive budget.
+        first, consuming receive budget.  Execution is delegated to the
+        configured engine (:mod:`repro.ncc.engine`); both engines enforce
+        the same semantics and meter identically.
         """
-        per_sender: Dict[int, int] = defaultdict(int)
-        staged: Dict[int, List[Message]] = defaultdict(list)
-
-        for src, dst, message in plan._sends:
-            if src not in self.known:
-                raise ProtocolError(f"unknown sender ID {src}")
-            if dst == src:
-                raise ProtocolError(f"node {src} attempted a self-send")
-            if dst not in self.known[src]:
-                raise UnknownRecipientError(src, dst)
-            words = message.words(self.word_bits)
-            if words > self.config.max_words:
-                raise MessageTooLarge(words, self.config.max_words)
-            per_sender[src] += 1
-            if per_sender[src] > self.send_cap:
-                raise SendCapExceeded(src, self.send_cap, per_sender[src])
-            staged[dst].append(message.with_src(src))
-
-        inboxes: Inboxes = {}
-        mode = self.config.enforcement
-        receivers = set(staged)
-        receivers.update(v for v, q in self._deferred.items() if q)
-        for dst in receivers:
-            queue = self._deferred[dst]
-            queue.extend(staged.get(dst, ()))
-            arrivals = len(queue)
-            if mode is EnforcementMode.STRICT and arrivals > self.recv_cap:
-                raise RecvCapExceeded(dst, self.recv_cap, arrivals)
-            if mode is EnforcementMode.UNBOUNDED:
-                take = arrivals
-            else:
-                take = min(arrivals, self.recv_cap)
-            delivered = [queue.popleft() for _ in range(take)]
-            if delivered:
-                inboxes[dst] = delivered
-                for message in delivered:
-                    self.known[dst].add(message.src)
-                    for known_id in message.ids:
-                        if known_id != dst:
-                            self.known[dst].add(known_id)
-                    self.messages_delivered += 1
-                    self.words_delivered += message.words(self.word_bits)
-
-        self.rounds += 1
-        self.simulated_rounds += 1
-        load = max((len(v) for v in inboxes.values()), default=0)
-        self.max_round_load = max(self.max_round_load, load)
-        for tracer in self.tracers:
-            tracer(self.rounds, inboxes)
-        return inboxes
+        return self.engine.deliver(plan)
 
     def step(self, sends: Iterable[Tuple[int, int, Message]]) -> Inboxes:
         """Convenience: build a plan from ``(src, dst, msg)`` and deliver."""
