@@ -1,0 +1,208 @@
+"""End-to-end protocol wall-clock: full runs through the scheduler.
+
+Methodology: unlike ``bench_engine_throughput`` — which *replays* recorded
+round streams straight through ``deliver()`` to isolate the engine — this
+benchmark runs the full generator protocols end to end: protocol code,
+the :class:`~repro.primitives.protocol.Scheduler` trampoline, and the
+round engine together.  It is the tracked trajectory for the protocol
+*execution layer* (scheduler + primitives), the component the
+PR-2 rework targets.
+
+Workloads are the two message-heaviest families at their benchmark
+scales: ``thm03_sorting`` (Theorem 3 distributed mergesort — the
+primitive every headline realization result rides on) and
+``thm05_collection`` (BBST build + global token collection).  Each case
+runs on a fresh, identically-seeded network per rep with GC paused; CPU
+time (``time.process_time``) is measured so shared-machine scheduler
+steal does not pollute the numbers; the best rep is reported.  Every
+rep's :class:`~repro.ncc.metrics.RoundStats` must be bit-identical — a
+rep that diverges means the run is nondeterministic and the wall-clock
+numbers are meaningless, so that is an assertion, not a warning.
+
+``PRE_PR_BASELINE`` records the same measurement taken at the pre-rework
+commit (PR 1 tree, commit 7083f83) on the reference machine, so
+``BENCH_protocol.json`` carries before/after numbers for the scheduler
+trampoline + sorting fast-path rework.  Speedups against it are only
+meaningful on comparable hardware; the regression guard
+(``run_experiments.py --check``) therefore compares *fresh vs committed*
+numbers from the same machine instead.
+"""
+
+from __future__ import annotations
+
+import gc
+import random
+import time
+
+from common import Experiment, make_net
+from repro.primitives.bbst import build_bbst
+from repro.primitives.collection import global_collect
+from repro.primitives.protocol import run_protocol
+from repro.primitives.sorting import distributed_sort
+
+#: The PR-2 tentpole target: end-to-end wall-clock on thm03 sorting at
+#: n=256/512 must be at least this multiple of the pre-PR baseline.
+TARGET_SPEEDUP = 2.0
+
+#: Pre-rework end-to-end measurements (commit 7083f83, this methodology,
+#: reference machine): best-of-reps CPU seconds per full protocol run.
+PRE_PR_BASELINE = {
+    "thm03_sorting/256": 0.5718,
+    "thm03_sorting/512": 1.539,
+    "thm05_collection/256": 0.0250,
+    "thm05_collection/512": 0.0611,
+}
+
+CASES = [
+    ("thm03_sorting", 256, 7),
+    ("thm03_sorting", 512, 5),
+    ("thm05_collection", 256, 11),
+    ("thm05_collection", 512, 11),
+]
+
+
+def _proto_for(label: str, n: int, seed: int, net):
+    if label == "thm03_sorting":
+        rng = random.Random(seed * 1000 + n)
+        table = {v: rng.randrange(n) for v in net.node_ids}
+        return distributed_sort(net, lambda v: table[v])
+    if label == "thm05_collection":
+        k = n // 4
+        ids = list(net.node_ids)
+        step = max(1, (n - 1) // max(1, k))
+        holders = {ids[(i * step) % n]: ((ids[i % n],), (i,)) for i in range(k)}
+        i = 0
+        while len(holders) < k:
+            holders[ids[i]] = ((ids[i],), (1000 + i,))
+            i += 1
+
+        def proto():
+            ns, root = yield from build_bbst(net)
+            yield from global_collect(
+                net, ns, list(net.node_ids), root, leader=root, holders=holders
+            )
+
+        return proto()
+    raise ValueError(f"unknown workload {label!r}")
+
+
+def _run_once(label: str, n: int, seed: int):
+    """One timed end-to-end run on a fresh net; returns (seconds, stats)."""
+    net = make_net(n, seed=seed)
+    proto = _proto_for(label, n, seed, net)
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        start = time.process_time()
+        run_protocol(net, proto)
+        elapsed = time.process_time() - start
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+    return elapsed, net.stats()
+
+
+def measure_case(label: str, n: int, seed: int, reps: int = 9):
+    """Best-of-``reps`` end-to-end wall-clock for one workload case.
+
+    One untimed warmup run precedes the timed reps (page/branch caches);
+    best-of-9 rides out multi-second contention windows on shared
+    machines, which a best-of-5 at n=256 (~2s total) cannot.
+    Raises AssertionError if any rep's RoundStats diverge (the runs must
+    be deterministic for the timing comparison to mean anything).
+    """
+    _run_once(label, n, seed)
+    best = float("inf")
+    stats = None
+    for _ in range(reps):
+        elapsed, run_stats = _run_once(label, n, seed)
+        best = min(best, elapsed)
+        if stats is None:
+            stats = run_stats
+        else:
+            assert run_stats == stats, f"{label}/{n}: nondeterministic RoundStats"
+    baseline = PRE_PR_BASELINE.get(f"{label}/{n}")
+    result = {
+        "workload": label,
+        "n": n,
+        "seed": seed,
+        "rounds": stats.rounds,
+        "messages": stats.messages,
+        "elapsed_sec": round(best, 4),
+        "rounds_per_sec": round(stats.rounds / best),
+        "msgs_per_sec": round(stats.messages / best),
+        "baseline_sec": baseline,
+        "target_speedup": TARGET_SPEEDUP,
+    }
+    if baseline is not None:
+        result["speedup_vs_baseline"] = round(baseline / best, 2)
+    return result
+
+
+_results_cache = {}
+
+
+def bench_results(reps: int = 9):
+    """All case measurements (the BENCH_protocol.json payload); cached."""
+    if reps in _results_cache:
+        return _results_cache[reps]
+    _results_cache[reps] = [
+        measure_case(label, n, seed, reps=reps) for label, n, seed in CASES
+    ]
+    return _results_cache[reps]
+
+
+def experiment() -> Experiment:
+    rows = []
+    sort_speedups = []
+    for result in bench_results():
+        speedup = result.get("speedup_vs_baseline")
+        if result["workload"] == "thm03_sorting" and speedup is not None:
+            sort_speedups.append(speedup)
+        rows.append(
+            [
+                result["workload"],
+                result["n"],
+                result["rounds"],
+                result["messages"],
+                f"{result['elapsed_sec']:.3f}s",
+                f"{result['rounds_per_sec']:,}",
+                f"{speedup:.2f}x" if speedup is not None else "n/a",
+            ]
+        )
+    # Shape: the protocol layer still executes end to end deterministically
+    # and (on the reference machine) hits the tentpole target on sorting.
+    # Cross-machine runs keep the gate on the machine-independent part.
+    shape = all(r["rounds"] > 0 and r["messages"] > 0 for r in bench_results())
+    hit = sum(1 for s in sort_speedups if s >= TARGET_SPEEDUP)
+    return Experiment(
+        exp_id="X-PROTO",
+        claim="scheduler + primitive fast paths multiply end-to-end wall-clock",
+        headers=[
+            "workload", "n", "rounds", "messages", "best time",
+            "rounds/s", "vs pre-PR",
+        ],
+        rows=rows,
+        shape_holds=shape,
+        notes=(
+            "Full protocol runs (generators + scheduler + engine), fresh "
+            "identically-seeded nets, GC paused, best-of reps, CPU time.  "
+            "RoundStats asserted bit-identical across reps.  Baseline is "
+            f"the pre-rework commit on the reference machine; target "
+            f"{TARGET_SPEEDUP:.0f}x met on {hit}/{len(sort_speedups)} "
+            "thm03 cases this run."
+        ),
+    )
+
+
+def test_protocol_wallclock(benchmark):
+    """Smoke-scale end-to-end run: deterministic stats, sane throughput."""
+    elapsed, stats = _run_once("thm03_sorting", 128, 7)
+    _, stats2 = _run_once("thm03_sorting", 128, 7)
+    assert stats == stats2
+    assert stats.messages > 0
+
+    def run():
+        return _run_once("thm03_sorting", 128, 7)
+
+    benchmark.pedantic(run, rounds=3, iterations=1)

@@ -11,7 +11,10 @@ writing a script:
 * ``connectivity --rho 3,2,2,1,1 [--model ncc0|ncc1]`` — connectivity
   thresholds (Theorems 17/18);
 * ``approx --degrees 4,4,4,4,4,4 [--repairs 2]`` — the Õ(1) approximate
-  realizer.
+  realizer;
+* ``profile sorting --n 256 [--top 25] [--sort-by cumulative]`` — run a
+  workload under ``cProfile`` and print the hottest functions, so perf
+  work starts from data instead of guesses.
 
 Every command prints the verdict, edge count, and round/message costs.
 """
@@ -150,6 +153,86 @@ def cmd_approx(args) -> int:
     return 0
 
 
+#: ``profile`` subcommand workloads: name -> (description, runner).
+#: Runners take (net, n, seed) and execute one full workload.
+def _profile_sorting(net, n: int, seed: int) -> None:
+    import random
+
+    from repro.primitives.protocol import run_protocol
+    from repro.primitives.sorting import distributed_sort
+
+    rng = random.Random(seed * 1000 + n)
+    table = {v: rng.randrange(n) for v in net.node_ids}
+    run_protocol(net, distributed_sort(net, lambda v: table[v]))
+
+
+def _profile_bbst(net, n: int, seed: int) -> None:
+    from repro.primitives.bbst import build_bbst
+    from repro.primitives.protocol import run_protocol
+
+    run_protocol(net, build_bbst(net))
+
+
+def _profile_collection(net, n: int, seed: int) -> None:
+    from repro.primitives.bbst import build_bbst
+    from repro.primitives.collection import global_collect
+    from repro.primitives.protocol import run_protocol
+
+    k = max(1, n // 4)
+    ids = list(net.node_ids)
+    holders = {ids[(i * 3) % n]: ((ids[i % n],), (i,)) for i in range(k)}
+
+    def proto():
+        ns, root = yield from build_bbst(net)
+        yield from global_collect(
+            net, ns, list(net.node_ids), root, leader=root, holders=holders
+        )
+
+    run_protocol(net, proto())
+
+
+def _profile_realize(net, n: int, seed: int) -> None:
+    from repro.core.degree_realization import realize_degree_sequence
+    from repro.workloads import random_graphic_sequence
+
+    seq = random_graphic_sequence(n, 0.3, seed=seed)
+    realize_degree_sequence(net, dict(zip(net.node_ids, seq)))
+
+
+def _profile_tree(net, n: int, seed: int) -> None:
+    from repro.core.tree_realization import realize_tree
+    from repro.workloads import random_tree_sequence
+
+    seq = random_tree_sequence(n, seed=seed)
+    realize_tree(net, dict(zip(net.node_ids, seq)))
+
+
+PROFILE_WORKLOADS = {
+    "sorting": ("Theorem 3 distributed mergesort", _profile_sorting),
+    "bbst": ("Theorem 1 BBST construction", _profile_bbst),
+    "collection": ("Theorem 5 global token collection", _profile_collection),
+    "realize": ("Algorithm 3 degree-sequence realization", _profile_realize),
+    "tree": ("Algorithm 4/5 tree realization", _profile_tree),
+}
+
+
+def cmd_profile(args) -> int:
+    import cProfile
+    import pstats
+
+    _description, runner = PROFILE_WORKLOADS[args.workload]
+    net = _make_net(args.n, args)
+    profiler = cProfile.Profile()
+    profiler.enable()
+    runner(net, args.n, args.seed)
+    profiler.disable()
+    print(f"profile: {args.workload} (n={args.n}, seed={args.seed})")
+    _report(net, "cost")
+    stats = pstats.Stats(profiler)
+    stats.sort_stats(args.sort_by).print_stats(args.top)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -186,6 +269,18 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--repairs", type=int, default=0)
     p.add_argument("--fast", action="store_true")
     p.set_defaults(fn=cmd_approx)
+
+    p = sub.add_parser("profile", help="profile a workload under cProfile")
+    p.add_argument("workload", choices=sorted(PROFILE_WORKLOADS))
+    p.add_argument("--n", type=int, default=256, help="network size")
+    p.add_argument("--top", type=int, default=25, help="hotspots to print")
+    p.add_argument(
+        "--sort-by",
+        choices=("cumulative", "tottime", "ncalls"),
+        default="cumulative",
+        help="pstats sort column",
+    )
+    p.set_defaults(fn=cmd_profile)
     return parser
 
 

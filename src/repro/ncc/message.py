@@ -86,5 +86,23 @@ def msg(kind: str, *, ids: Tuple[int, ...] = (), data: Tuple[Any, ...] = ()) -> 
     ``"<ns>:<tag>"`` strings at every round, and interning collapses them
     to one shared object (kind comparisons then usually short-circuit on
     identity).
+
+    Construction fills the instance dict directly instead of going
+    through the frozen-dataclass ``__init__``/``__setattr__`` machinery —
+    protocols build one message per send, which makes this the hottest
+    allocation site of a full-fidelity run.  The result is
+    indistinguishable from ``Message(...)`` (same fields, same equality
+    and hashing).
+
+    The densest send loops (``primitives/bbst.py`` and
+    ``primitives/traversal.py``) inline this dict-fill to skip even the
+    call overhead — when the field layout changes, keep those copies in
+    lockstep.
     """
-    return Message(kind=sys.intern(kind), ids=tuple(ids), data=tuple(data))
+    stamped = Message.__new__(Message)
+    inner = stamped.__dict__
+    inner["kind"] = sys.intern(kind)
+    inner["ids"] = ids if ids.__class__ is tuple else tuple(ids)
+    inner["data"] = data if data.__class__ is tuple else tuple(data)
+    inner["src"] = -1
+    return stamped

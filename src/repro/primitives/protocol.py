@@ -5,7 +5,7 @@ marks one synchronous NCC round:
 
 * yielding a **list of sends** ``[(src, dst, Message), ...]`` submits those
   messages for the round and resumes, after delivery, with the round's
-  inbox dict ``{node_id: [Message, ...]}`` (shared by all concurrent
+  inbox view ``{node_id: [Message, ...]}`` (shared by all concurrent
   tasks — tasks look up only the nodes they drive);
 * yielding :class:`Fork` runs child generators **concurrently** with each
   other and with every other active task; the parent resumes with the
@@ -21,6 +21,17 @@ their sends into one :class:`~repro.ncc.network.RoundPlan`, delivers it
 sub-protocols therefore *share* rounds, which is exactly what the paper's
 "in parallel" steps require for round counts to be meaningful.
 
+The trampoline is the hottest loop in a full-fidelity run, so it is
+written for throughput: live tasks are counted instead of scanned, the
+ready/waiting queues are reused across rounds, completed tasks are
+dropped immediately (a long-lived scheduler holds only live tasks), and
+each round's inboxes are handed to tasks as an :class:`InboxView` — a
+dict with a lazy per-node, per-``kind`` index that :func:`take` /
+:func:`take_one` use instead of re-scanning inbox lists at every call
+site.  None of this changes observable behaviour: the task advancement
+order, the per-round send order, and every metric are identical to a
+naive trampoline (the determinism suite enforces this).
+
 Message namespacing: concurrent protocol instances tag their message
 ``kind`` as ``"<ns>:<tag>"`` and filter inboxes with :func:`take`.  The
 namespace plays the role of the constant-size protocol/group header the
@@ -30,13 +41,11 @@ paper's primitives assume.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import (
     Any,
-    Callable,
     Dict,
     Generator,
-    Iterable,
     List,
     Optional,
     Sequence,
@@ -57,6 +66,43 @@ class Fork:
     """Run ``children`` concurrently; parent resumes with their results."""
 
     children: Sequence[Proto]
+
+
+class InboxView(dict):
+    """One round's inboxes, with a lazy per-node ``kind`` index.
+
+    Behaves exactly like the plain ``{node_id: [Message, ...]}`` dict the
+    engines produce (protocols index and ``.get`` it directly), but the
+    first :func:`take`/:func:`take_one` at a node builds that node's
+    ``{kind: [messages]}`` index once, so every subsequent filter at the
+    node is two dict lookups instead of a list scan.  The view is shared
+    by all tasks parked on the same round barrier, so the index is built
+    at most once per (node, round) no matter how many protocols poll it.
+    """
+
+    __slots__ = ("_by_kind",)
+
+    def __init__(self, inboxes=()) -> None:
+        dict.__init__(self, inboxes)
+        self._by_kind: Dict[int, Dict[str, List[Message]]] = {}
+
+    def kind_index(self, node: int) -> Dict[str, List[Message]]:
+        """The node's ``{kind: [messages]}`` map (built on first use)."""
+        index = self._by_kind.get(node)
+        if index is None:
+            index = {}
+            box = dict.get(self, node)
+            if box:
+                index_get = index.get
+                for message in box:
+                    kind = message.kind
+                    bucket = index_get(kind)
+                    if bucket is None:
+                        index[kind] = [message]
+                    else:
+                        bucket.append(message)
+            self._by_kind[node] = index
+        return index
 
 
 class _Task:
@@ -100,83 +146,111 @@ class Scheduler:
         Returns their results in order.  Raises
         :class:`~repro.ncc.errors.ProtocolError` on deadlock (no task can
         advance but not all are done) or round-budget exhaustion.
+
+        Only live tasks are retained: a completed task is unlinked as
+        soon as it finishes, so arbitrarily long-running schedulers do
+        not accumulate task records.  ``live`` counts non-DONE tasks so
+        termination is an O(1) check per iteration instead of a scan.
         """
         roots = [_Task(g, parent=None, child_slot=i) for i, g in enumerate(gens)]
-        tasks: List[_Task] = list(roots)
+        # The ready stack is LIFO (pop from the tail): children pushed by
+        # a fork advance before their siblings' elders, which defines the
+        # canonical send order every determinism check pins down.
         ready: List[_Task] = list(roots)
         waiting: List[_Task] = []
+        live = len(roots)
         rounds_used = 0
+        net = self.net
+        max_rounds = self.max_rounds
 
-        def finish(task: _Task, value: Any) -> None:
-            task.status = _Task.DONE
-            task.result = value
-            parent = task.parent
-            if parent is not None:
-                parent.pending_children -= 1
-                if parent.pending_children == 0:
-                    results = parent.resume_value  # list being filled
-                    parent.resume_value = results
-                    parent.status = _Task.READY
-                    ready.append(parent)
+        READY = _Task.READY
+        WAITING_ROUND = _Task.WAITING_ROUND
+        BLOCKED = _Task.BLOCKED
+        DONE = _Task.DONE
+        ready_pop = ready.pop
+        ready_append = ready.append
+        waiting_append = waiting.append
 
         while True:
             # Advance every ready task to its next barrier.
             pending_sends: List[Send] = []
+            extend_sends = pending_sends.extend
             while ready:
-                task = ready.pop()
-                if task.status != _Task.READY:
+                task = ready_pop()
+                if task.status != READY:
                     continue
                 try:
                     yielded = task.gen.send(task.resume_value)
                 except StopIteration as stop:
                     value = stop.value
-                    if task.parent is not None:
-                        task.parent.resume_value[task.child_slot] = value
-                    finish(task, value)
+                    task.status = DONE
+                    task.result = value
+                    live -= 1
+                    parent = task.parent
+                    if parent is not None:
+                        parent.resume_value[task.child_slot] = value
+                        parent.pending_children -= 1
+                        if parent.pending_children == 0:
+                            parent.status = READY
+                            ready_append(parent)
+                        task.parent = None  # unlink: nothing retains the task
                     continue
                 task.resume_value = None
-                if isinstance(yielded, Fork):
+                # Dispatch on the yield: one identity check settles the
+                # overwhelmingly common case (a plain list of sends);
+                # forks and exotic list/tuple subclasses fall through to
+                # isinstance exactly once each.
+                if yielded.__class__ is list:
+                    if yielded:
+                        extend_sends(yielded)
+                    task.status = WAITING_ROUND
+                    waiting_append(task)
+                elif isinstance(yielded, Fork):
                     children = list(yielded.children)
                     if not children:
                         task.resume_value = []
-                        ready.append(task)
+                        ready_append(task)
                         continue
-                    task.status = _Task.BLOCKED
+                    task.status = BLOCKED
                     task.pending_children = len(children)
                     task.resume_value = [None] * len(children)
+                    live += len(children)
                     for slot, child_gen in enumerate(children):
-                        child = _Task(child_gen, parent=task, child_slot=slot)
-                        tasks.append(child)
-                        ready.append(child)
+                        ready_append(_Task(child_gen, parent=task, child_slot=slot))
+                    # Drop the loop locals' references: otherwise the
+                    # last fork's child generators stay pinned in this
+                    # frame for the scheduler's whole remaining lifetime.
+                    children = child_gen = yielded = None
                 elif isinstance(yielded, (list, tuple)):
-                    pending_sends.extend(yielded)
-                    task.status = _Task.WAITING_ROUND
-                    waiting.append(task)
+                    if yielded:
+                        extend_sends(yielded)
+                    task.status = WAITING_ROUND
+                    waiting_append(task)
                 else:
                     raise ProtocolError(
                         f"protocol yielded {type(yielded).__name__}; expected "
                         "a list of sends or a Fork"
                     )
 
-            if all(t.status == _Task.DONE for t in tasks):
+            if live == 0:
                 break
             if not waiting:
                 raise ProtocolError("protocol deadlock: no task can advance")
 
-            plan = self.net.plan()
-            for src, dst, message in pending_sends:
-                plan.send(src, dst, message)
-            inboxes = self.net.deliver(plan)
+            plan = net.plan()
+            plan._sends = pending_sends
+            inboxes = net.deliver(plan)
             rounds_used += 1
-            if rounds_used > self.max_rounds:
+            if rounds_used > max_rounds:
                 raise ProtocolError(
-                    f"protocol exceeded round budget of {self.max_rounds}"
+                    f"protocol exceeded round budget of {max_rounds}"
                 )
+            view = InboxView(inboxes)
             for task in waiting:
-                task.status = _Task.READY
-                task.resume_value = inboxes
-                ready.append(task)
-            waiting = []
+                task.status = READY
+                task.resume_value = view
+                ready_append(task)
+            waiting.clear()
 
         return [t.result for t in roots]
 
@@ -192,6 +266,11 @@ def run_protocol(net: Network, gen: Proto, max_rounds: int = 10_000_000) -> Any:
 
 _ns_counter = itertools.count()
 
+#: Shared empty result for kind-filters that match nothing.  Callers
+#: treat `take` results as read-only (iterate/index/concatenate); never
+#: mutate this list.
+_NO_MESSAGES: List[Message] = []
+
 
 def fresh_ns(prefix: str) -> str:
     """A short unique namespace for one protocol instance's messages."""
@@ -199,7 +278,17 @@ def fresh_ns(prefix: str) -> str:
 
 
 def take(inboxes: Inboxes, node: int, kind: str) -> List[Message]:
-    """Messages of exactly ``kind`` delivered to ``node`` this round."""
+    """Messages of exactly ``kind`` delivered to ``node`` this round.
+
+    The returned list is read-only (it may be shared by the round's
+    :class:`InboxView` index or by other callers).
+    """
+    if inboxes.__class__ is InboxView:
+        index = inboxes._by_kind.get(node)
+        if index is None:
+            index = inboxes.kind_index(node)
+        hit = index.get(kind)
+        return hit if hit is not None else _NO_MESSAGES
     return [m for m in inboxes.get(node, ()) if m.kind == kind]
 
 
@@ -222,6 +311,19 @@ def take_one(inboxes: Inboxes, node: int, kind: str) -> Optional[Message]:
 def ns_state(net: Network, node: int, ns: str) -> Dict[str, Any]:
     """The node-local state dict for protocol namespace ``ns``."""
     return net.mem[node].setdefault(ns, {})
+
+
+def ns_states(
+    net: Network, members: Sequence[int], ns: str
+) -> Dict[int, Dict[str, Any]]:
+    """All members' state dicts for ``ns`` in one pass.
+
+    Hot primitives resolve every member's state dict once up front and
+    index the returned map inside their round loops, instead of paying a
+    ``net.mem`` double lookup per member per round.
+    """
+    mem = net.mem
+    return {v: mem[v].setdefault(ns, {}) for v in members}
 
 
 def idle(rounds: int) -> Proto:

@@ -36,8 +36,9 @@ bench).
 from __future__ import annotations
 
 import math
+import weakref
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.ncc.errors import ProtocolError
 from repro.ncc.message import msg
@@ -52,11 +53,7 @@ from repro.primitives.protocol import (
     take,
     take_one,
 )
-from repro.primitives.traversal import (
-    annotate_positions,
-    compute_subtree_sizes,
-    report_to_root,
-)
+from repro.primitives.traversal import annotate_index, report_to_root
 
 #: Charged-mode round constant: rounds = ceil(CHARGED_SORT_CONSTANT * log2(n)^3).
 #: Calibrated so charged costs upper-bound full-fidelity measurements on the
@@ -87,33 +84,118 @@ def _key(net: Network, ns: str, v: int) -> Tuple[int, int]:
     return (state["val"], v)
 
 
+#: Per-network run-membership cache: ``{(ns, head): (tail, length, members)}``.
+#: Run handles are used linearly by Recursive-Merge — every split/insert/
+#: concatenate *consumes* its input runs and *produces* new ones — so the
+#: cache mirrors that discipline: entries are popped when a run is
+#: consumed and stored when one is produced, which keeps exactly the live
+#: runs cached and makes stale hits impossible.  Lookups additionally
+#: validate ``(tail, length)`` and fall back to a pointer walk.  This is
+#: scheduler bookkeeping only: no message or round depends on it.
+_run_cache: "weakref.WeakKeyDictionary[Network, Dict]" = weakref.WeakKeyDictionary()
+
+
+def _members_cache(net: Network) -> Dict:
+    cache = _run_cache.get(net)
+    if cache is None:
+        cache = {}
+        _run_cache[net] = cache
+    return cache
+
+
+def _cache_store(cache: Dict, ns: str, run: Run, members: List[int]) -> None:
+    if run.length > 0:
+        cache[(ns, run.head)] = (run.tail, run.length, members)
+
+
+def _cache_drop(cache: Dict, ns: str, run: Run) -> None:
+    if run.length > 0:
+        cache.pop((ns, run.head), None)
+
+
 def _run_members(net: Network, ns: str, run: Run) -> List[int]:
-    """Scheduler bookkeeping: walk a run's succ pointers."""
+    """Scheduler bookkeeping: a run's members in path order.
+
+    Served from the per-network cache when the handle is known (the same
+    run's members are asked for at every Recursive-Merge level);
+    otherwise the succ pointers are walked once and the result cached.
+    The returned list is shared with the cache — callers treat it as
+    read-only and slice/copy when they need ownership.
+    """
+    cache = _members_cache(net)
+    entry = cache.get((ns, run.head))
+    if entry is not None and entry[0] == run.tail and entry[1] == run.length:
+        return entry[2]
     out: List[int] = []
+    append = out.append
+    mem = net.mem
     cursor = run.head
     while cursor is not None:
-        out.append(cursor)
-        cursor = ns_state(net, cursor, ns).get("succ")
+        append(cursor)
+        state = mem[cursor].get(ns)
+        cursor = state.get("succ") if state is not None else None
     if len(out) != run.length:
         raise ProtocolError(
             f"run handle claims length {run.length}, path walk found {len(out)}"
         )
+    cache[(ns, run.head)] = (run.tail, run.length, out)
     return out
 
 
+def _drop_bst_ns(net: Network, members: List[int], bst_ns: str) -> None:
+    """Free a run BST's per-node scratch state (bookkeeping only).
+
+    Every merge level builds fresh BSTs under throwaway namespaces; a
+    long sort would otherwise pile thousands of dead namespace dicts
+    into ``net.mem``.
+    """
+    mem = net.mem
+    for v in members:
+        mem[v].pop(bst_ns, None)
+
+
 def _build_run_bst(net: Network, ns: str, run: Run) -> Proto:
-    """Protocol: fresh BBST (+sizes/positions) on a run.  Root == head."""
+    """Protocol: fresh BBST (+sizes/positions) on a run.  Root == head.
+
+    The per-member scratch dicts are created in one batch and shared
+    with every stage (levels, BFS, sizes+positions) so each merge level
+    resolves member state exactly once.
+    """
     members = _run_members(net, ns, run)
     bst_ns = fresh_ns("rb")
+    mem = net.mem
+    states = {}
     for v in members:
-        src = ns_state(net, v, ns)
-        dst = ns_state(net, v, bst_ns)
-        dst["pred"] = src.get("pred")
-        dst["succ"] = src.get("succ")
-    levels = yield from build_levels(net, bst_ns, members)
-    root = yield from controlled_bfs(net, bst_ns, members, run.head, levels)
-    yield from compute_subtree_sizes(net, bst_ns, members)
-    yield from annotate_positions(net, bst_ns, members, root)
+        node_mem = mem[v]
+        src = node_mem.get(ns)
+        if src is None:
+            src = node_mem[ns] = {}
+        pred, succ = src.get("pred"), src.get("succ")
+        # Pre-seed the keys the level builder and the controlled BFS
+        # would otherwise initialise with their own member passes.
+        node_mem[bst_ns] = states[v] = {
+            "pred": pred,
+            "succ": succ,
+            "lp0": pred,
+            "ls0": succ,
+            "parent": None,
+            "left": None,
+            "right": None,
+            "in_tree": False,
+            "sp": False,
+            "ss": False,
+        }
+    member_index = {v: i for i, v in enumerate(members)}
+    levels = yield from build_levels(
+        net, bst_ns, members, _states=states, _preinit=True
+    )
+    root = yield from controlled_bfs(
+        net, bst_ns, members, run.head, levels,
+        _states=states, _member_index=member_index, _preinit=True,
+    )
+    yield from annotate_index(
+        net, bst_ns, members, root, _states=states, _member_index=member_index
+    )
     return bst_ns, members, root
 
 
@@ -191,10 +273,12 @@ def _insert_singleton(net: Network, ns: str, y: int, run: Run) -> Proto:
         state = ns_state(net, y, ns)
         state["pred"] = None
         state["succ"] = None
-        return Run.singleton(y)
+        singleton = Run.singleton(y)
+        _cache_store(_members_cache(net), ns, singleton, [y])
+        return singleton
 
-    bst_ns, _members, root = yield from _build_run_bst(net, ns, run)
-    best, succ, _pos = yield from _descend_search(
+    bst_ns, members, root = yield from _build_run_bst(net, ns, run)
+    best, succ, best_pos = yield from _descend_search(
         net, ns, bst_ns, root, asker=y, key=_key(net, ns, y)
     )
 
@@ -223,6 +307,18 @@ def _insert_singleton(net: Network, ns: str, y: int, run: Run) -> Proto:
         for message in take(inboxes, v, ltag):
             slot = "pred" if message.data[0] == "P" else "succ"
             ns_state(net, v, ns)[slot] = message.ids[0]
+
+    cache = _members_cache(net)
+    _cache_drop(cache, ns, run)
+    if best is None:
+        new_members = [y, *members]
+    else:
+        if members[best_pos] != best:
+            raise ProtocolError("insert bookkeeping diverged from run membership")
+        at = best_pos + 1
+        new_members = [*members[:at], y, *members[at:]]
+    _cache_store(cache, ns, new_run, new_members)
+    _drop_bst_ns(net, members, bst_ns)
     return new_run
 
 
@@ -278,6 +374,13 @@ def _split_run_at_median(net: Network, ns: str, run: Run, coordinator: int) -> P
     right = (
         Run(succ, run.tail, run.length - target - 1) if succ is not None else Run.empty()
     )
+    if members[target] != median:
+        raise ProtocolError("median bookkeeping diverged from run membership")
+    cache = _members_cache(net)
+    _cache_drop(cache, ns, run)
+    _cache_store(cache, ns, left, members[:target])
+    _cache_store(cache, ns, right, members[target + 1 :])
+    _drop_bst_ns(net, members, bst_ns)
     return median, (val, median), left, right
 
 
@@ -291,11 +394,12 @@ def _split_run_by_key(
     """
     if run.length == 0:
         return Run.empty(), Run.empty()
-    bst_ns, _members, root = yield from _build_run_bst(net, ns, run)
+    bst_ns, members, root = yield from _build_run_bst(net, ns, run)
     best, succ, best_pos = yield from _descend_search(
         net, ns, bst_ns, root, asker=coordinator, key=key
     )
     if best is None:
+        _drop_bst_ns(net, members, bst_ns)
         return Run.empty(), run
 
     # Cut after `best`: coordinator instructs it (it may be far away).
@@ -318,6 +422,13 @@ def _split_run_by_key(
         if succ is not None
         else Run.empty()
     )
+    if members[best_pos] != best:
+        raise ProtocolError("split bookkeeping diverged from run membership")
+    cache = _members_cache(net)
+    _cache_drop(cache, ns, run)
+    _cache_store(cache, ns, left, members[: best_pos + 1])
+    _cache_store(cache, ns, right, members[best_pos + 1 :])
+    _drop_bst_ns(net, members, bst_ns)
     return left, right
 
 
@@ -367,7 +478,34 @@ def _concatenate(
 
     head = left.head if left.length > 0 else pivot
     tail = right.tail if right.length > 0 else pivot
-    return Run(head, tail, left.length + right.length + 1)
+    merged = Run(head, tail, left.length + right.length + 1)
+
+    # Membership bookkeeping: the halves (and any stale pivot singleton)
+    # are consumed; the merged run is their concatenation.  If either
+    # half's membership is unknown the merged run is simply left uncached
+    # (the next walk repopulates it).
+    cache = _members_cache(net)
+    left_entry = cache.pop((ns, left.head), None) if left.length > 0 else None
+    right_entry = cache.pop((ns, right.head), None) if right.length > 0 else None
+    cache.pop((ns, pivot), None)
+    left_known = left.length == 0 or (
+        left_entry is not None
+        and left_entry[0] == left.tail
+        and left_entry[1] == left.length
+    )
+    right_known = right.length == 0 or (
+        right_entry is not None
+        and right_entry[0] == right.tail
+        and right_entry[1] == right.length
+    )
+    if left_known and right_known:
+        merged_members = [
+            *(left_entry[2] if left.length > 0 else ()),
+            pivot,
+            *(right_entry[2] if right.length > 0 else ()),
+        ]
+        _cache_store(cache, ns, merged, merged_members)
+    return merged
 
 
 def _delegate(net: Network, src: int, dst: int, r1: Run, r2: Run) -> Proto:
@@ -503,23 +641,32 @@ def distributed_sort(
     if fidelity != "full":
         raise ValueError(f"unknown fidelity {fidelity!r}")
 
+    # Drop any membership bookkeeping a previous sort left under this
+    # namespace (callers may reuse an explicit ns on the same network).
+    cache = _members_cache(net)
+    for key in [k for k in cache if k[0] == ns]:
+        del cache[key]
+
     tree_ns = fresh_ns("st")
     if members is None:
         tree_head = yield from build_undirected_path(net, tree_ns)
     else:
         if path_ns is None or head is None:
             raise ProtocolError("sub-network sorts need path_ns and head")
+        mem = net.mem
         for v in scope:
-            src = ns_state(net, v, path_ns)
-            dst = ns_state(net, v, tree_ns)
-            dst["pred"] = src.get("pred")
-            dst["succ"] = src.get("succ")
+            node_mem = mem[v]
+            src = node_mem.get(path_ns)
+            if src is None:
+                src = node_mem[path_ns] = {}
+            node_mem[tree_ns] = {"pred": src.get("pred"), "succ": src.get("succ")}
         tree_head = head
     levels = yield from build_levels(net, tree_ns, scope)
     root = yield from controlled_bfs(net, tree_ns, scope, tree_head, levels)
     final_run = yield from _sort_subtree(net, ns, tree_ns, root)
 
-    order = _run_members(net, ns, final_run)
+    order = list(_run_members(net, ns, final_run))
+    cache.pop((ns, final_run.head), None)
     if len(order) != len(scope):
         raise ProtocolError(f"sort lost nodes: {len(order)} of {len(scope)}")
     return ns, order

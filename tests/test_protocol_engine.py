@@ -1,11 +1,16 @@
 """Tests for the generator scheduler: round sharing, Fork, failure modes."""
 
+import gc
+import random
+import weakref
+
 import pytest
 
 from repro.ncc.errors import ProtocolError
 from repro.ncc.message import msg
 from repro.primitives.protocol import (
     Fork,
+    InboxView,
     Scheduler,
     fresh_ns,
     idle,
@@ -173,6 +178,163 @@ def test_take_and_take_one():
     # ids[2] must know ids[1]: it doesn't on the path (knows ids[3]).
     net.grant_knowledge(ids[2], ids[1])
     assert run_protocol(net, proto())
+
+
+def test_deeply_nested_forks():
+    """A 60-deep fork chain completes and shares rounds correctly."""
+    net = make_net(4)
+    depth = 60
+
+    def nest(level):
+        if level == 0:
+            yield []
+            return 0
+        out = yield Fork([nest(level - 1)])
+        return out[0] + 1
+
+    assert run_protocol(net, nest(depth)) == depth
+    # Only the innermost leaf ever parks on a round barrier.
+    assert net.rounds == 1
+
+
+def test_wide_and_deep_fork_tree_deterministic():
+    """A bushy fork tree twice over: identical results and RoundStats."""
+
+    def leaf(k):
+        for _ in range(k % 3):
+            yield []
+        return k
+
+    def node(depth, fanout, k):
+        if depth == 0:
+            out = yield from leaf(k)
+            return out
+        out = yield Fork(
+            [node(depth - 1, fanout, k * fanout + j) for j in range(fanout)]
+        )
+        return sum(out)
+
+    snapshots = []
+    for _ in range(2):
+        net = make_net(4)
+        result = run_protocol(net, node(4, 3, 1))
+        snapshots.append((result, repr(net.stats()).encode()))
+    assert snapshots[0] == snapshots[1]
+
+
+def test_deadlock_error_path(monkeypatch):
+    """The scheduler raises instead of spinning when nothing can advance.
+
+    The condition (a live task that is neither runnable nor parked on a
+    round barrier) cannot be produced by well-formed generator protocols
+    — every fork child starts runnable and every advance ends in DONE,
+    WAITING or BLOCKED-on-runnable-children — so the guard is exercised
+    by wedging the root task record into BLOCKED before the loop runs.
+    """
+    from repro.primitives import protocol as protocol_mod
+
+    class WedgedTask(protocol_mod._Task):
+        def __init__(self, gen, parent, child_slot):
+            super().__init__(gen, parent, child_slot)
+            self.status = protocol_mod._Task.BLOCKED
+            self.pending_children = 1
+
+    monkeypatch.setattr(protocol_mod, "_Task", WedgedTask)
+    net = make_net(2)
+    with pytest.raises(ProtocolError, match="deadlock"):
+        protocol_mod.Scheduler(net).run(idle(3))
+
+
+def test_round_budget_exact_boundary():
+    """max_rounds is inclusive: exactly-budget passes, one more raises."""
+    net = make_net(4)
+    assert run_protocol(net, idle(10), max_rounds=10) is None
+    with pytest.raises(ProtocolError, match="round budget"):
+        run_protocol(make_net(4), idle(11), max_rounds=10)
+
+
+def test_completed_task_records_released():
+    """Finished children are unlinked mid-run (no unbounded task growth)."""
+    net = make_net(4)
+
+    def child():
+        yield []
+        return None
+
+    gens = [child() for _ in range(8)]
+    refs = [weakref.ref(g) for g in gens]
+
+    def parent():
+        yield Fork(gens)
+        gens.clear()
+        gc.collect()
+        alive = sum(1 for r in refs if r() is not None)
+        assert alive == 0, f"{alive} finished child generators still retained"
+        yield []
+        return "done"
+
+    assert run_protocol(net, parent()) == "done"
+
+
+def test_scheduler_stats_byte_identical_multi_root():
+    """Concurrent roots through Scheduler.run: byte-identical RoundStats."""
+    snapshots = []
+    for _ in range(2):
+        net = make_net(12)
+        ids = list(net.node_ids)
+        rng = random.Random(5)
+
+        def chatter(i):
+            for r in range(rng.randrange(2, 5)):
+                yield [(ids[i], ids[i + 1], msg("c", data=(i, r)))]
+            return i
+
+        results = Scheduler(net).run(*(chatter(i) for i in range(4)))
+        snapshots.append((results, repr(net.stats()).encode()))
+    assert snapshots[0][0] == [0, 1, 2, 3]
+    assert snapshots[0] == snapshots[1]
+
+
+class TestInboxView:
+    """The per-round inbox view: dict compatibility + kind index."""
+
+    def _view(self):
+        m1 = msg("a", data=(1,)).with_src(7)
+        m2 = msg("b", data=(2,)).with_src(8)
+        m3 = msg("a", data=(3,)).with_src(9)
+        return InboxView({5: [m1, m2, m3]}), (m1, m2, m3)
+
+    def test_behaves_like_the_plain_dict(self):
+        view, (m1, m2, m3) = self._view()
+        assert view[5] == [m1, m2, m3]
+        assert view.get(6) is None
+        assert list(view) == [5]
+
+    def test_take_filters_by_kind_in_arrival_order(self):
+        view, (m1, _m2, m3) = self._view()
+        assert take(view, 5, "a") == [m1, m3]
+        assert take(view, 5, "zzz") == []
+        assert take(view, 6, "a") == []
+
+    def test_take_one_enforces_uniqueness(self):
+        view, (_m1, m2, _m3) = self._view()
+        assert take_one(view, 5, "b") is m2
+        assert take_one(view, 5, "nope") is None
+        with pytest.raises(ProtocolError):
+            take_one(view, 5, "a")
+
+    def test_index_is_cached_and_consistent(self):
+        view, _ = self._view()
+        first = take(view, 5, "a")
+        again = take(view, 5, "a")
+        assert first is again  # served from the per-node index
+        assert view.kind_index(5)["b"] == take(view, 5, "b")
+
+    def test_plain_dict_fallback(self):
+        m = msg("k").with_src(3)
+        plain = {4: [m]}
+        assert take(plain, 4, "k") == [m]
+        assert take_one(plain, 4, "k") is m
 
 
 def test_fresh_ns_unique():
