@@ -1,0 +1,255 @@
+"""X-SVC — batch realization service throughput: cold vs warm path.
+
+Methodology: one mixed *service traffic* batch of ``BATCH_SIZE``
+requests spanning five workload kinds and three-plus scenario families
+at n ∈ {64, 256}.  Real service traffic repeats itself — popular
+scenarios are requested again and again — so the batch repeats each of
+the ``len(DISTINCT)`` distinct requests ``REPEAT`` times (deterministic
+shuffle, distinct ``request_id`` per occurrence).  The same batch is
+then drained two ways:
+
+``cold``
+    One-shot handling, the pre-service posture: every request
+    materializes its scenario from scratch, constructs a fresh
+    :class:`~repro.ncc.network.Network`, and runs the realizer — no
+    pool, no caches (the in-process equivalent of today's one-shot CLI
+    calls, conservatively *excluding* their per-invocation interpreter
+    startup).
+
+``warm``
+    The service stack: a :class:`~repro.service.pool.NetworkPool` of
+    reset-verified warm networks, the registry's memoized scenario
+    materialization, and the deterministic response cache, exactly as
+    ``python -m repro serve`` runs it.  Fresh executor per rep, so every
+    rep pays its own cache misses on the distinct requests.
+
+Responses must be field-identical between the two modes (cached
+responses are bit-equal to fresh ones by determinism — the pool-reset
+differential suite is the underlying gate); the batch's summed
+rounds/messages are the regression-guard invariants.  Throughput is
+requests/sec over the whole batch, best-of-reps CPU time with GC
+paused.  The tentpole acceptance is warm >= TARGET_SPEEDUP x cold.
+"""
+
+from __future__ import annotations
+
+import gc
+import random
+import time
+
+from common import Experiment
+from repro.service import (
+    BatchExecutor,
+    NetworkPool,
+    RealizationRequest,
+    default_registry,
+)
+
+#: Tentpole acceptance: warm-path throughput over cold-path throughput.
+TARGET_SPEEDUP = 1.5
+
+#: Distinct requests: (kind, scenario, n, seed, extra request fields).
+#: Five kinds across {64, 256}, grouped into shared *network identities*
+#: — requests with the same (n, seed, engine, variant) run on the same
+#: simulated deployment, which is exactly what the pool reuses across
+#: different workload kinds (seed is part of the pool key: it fixes the
+#: ID space, so distinct seeds are distinct deployments).
+DISTINCT = [
+    # Identity A: the (64, seed=3) NCC0 deployment, five workload kinds.
+    ("degree_implicit", "random_graphic", 64, 3, {}),
+    ("degree_envelope", "near_graphic", 64, 3, {}),
+    ("tree", "tree_random", 64, 3, {}),
+    ("connectivity", "rho_uniform", 64, 3, {}),
+    ("approximate", "regular", 64, 3, {}),
+    # Identity B: the (256, seed=5) NCC0 deployment, four kinds.
+    ("degree_implicit", "power_law", 256, 5, {}),
+    ("tree", "tree_caterpillar", 256, 5, {}),
+    ("connectivity", "rho_ranked", 256, 5, {}),
+    ("approximate", "regular", 256, 5, {}),
+    # Identity C: the NCC1 variant is its own deployment (pool key).
+    ("connectivity", "rho_bimodal", 256, 5, {"model": "ncc1"}),
+]
+
+#: Each distinct request recurs this many times in the traffic mix.
+REPEAT = 6
+
+BATCH_SIZE = len(DISTINCT) * REPEAT
+
+
+def build_batch():
+    """The deterministic mixed batch (shuffled, unique request_ids)."""
+    requests = []
+    for rep in range(REPEAT):
+        for i, (kind, scenario, n, seed, extra) in enumerate(DISTINCT):
+            requests.append(
+                RealizationRequest(
+                    kind=kind,
+                    scenario=scenario,
+                    n=n,
+                    seed=seed,
+                    request_id=f"{kind}-{scenario}-{n}-r{rep}",
+                    **extra,
+                ).validate()
+            )
+    random.Random(0).shuffle(requests)
+    return requests
+
+
+def _drain(executor, batch):
+    """Timed drain with GC paused; returns (cpu_seconds, responses)."""
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        start = time.process_time()
+        responses = executor.run(batch)
+        elapsed = time.process_time() - start
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+    return elapsed, responses
+
+
+def _cold_executor():
+    return BatchExecutor(pool=None, cache_responses=False,
+                         cache_scenarios=False, registry=default_registry())
+
+
+def _warm_executor():
+    return BatchExecutor(pool=NetworkPool(), cache_responses=True,
+                         registry=default_registry())
+
+
+def measure(reps: int = 2):
+    """Best-of-``reps`` cold and warm drains of the same batch.
+
+    A fresh executor per rep: the warm path re-earns its caches every
+    rep (the measurement includes the misses), and the cold path cannot
+    accidentally retain anything.  Responses are asserted field-identical
+    across modes and reps.
+    """
+    batch = build_batch()
+    canonical = None  # first drain's responses; later drains must match
+    best = {"cold": float("inf"), "warm": float("inf")}
+    last_stats = {}
+    for _ in range(reps):
+        for mode, make in (("cold", _cold_executor), ("warm", _warm_executor)):
+            executor = make()
+            elapsed, responses = _drain(executor, batch)
+            fps = [r.fingerprint() for r in responses]
+            if canonical is None:
+                canonical = responses
+            else:
+                assert fps == [r.fingerprint() for r in canonical], (
+                    f"{mode} drain changed a response — the service stack "
+                    "must be answer-preserving"
+                )
+            assert all(r.error is None for r in responses)
+            best[mode] = min(best[mode], elapsed)
+            last_stats[mode] = executor.stats()
+
+    total_rounds = sum(r.rounds for r in canonical)
+    total_messages = sum(r.messages for r in canonical)
+    kinds = sorted({r.kind for r in batch})
+    sizes = sorted({r.size for r in batch})
+    results = []
+    for mode in ("cold", "warm"):
+        stats = last_stats[mode]
+        pool = stats.get("pool", {})
+        results.append(
+            {
+                "workload": f"service_batch_{mode}",
+                "n": 0,  # mixed batch (n in `sizes`)
+                "requests": len(batch),
+                "distinct": len(DISTINCT),
+                "kinds": kinds,
+                "sizes": sizes,
+                "rounds": total_rounds,
+                "messages": total_messages,
+                "elapsed_sec": round(best[mode], 4),
+                "requests_per_sec": round(len(batch) / best[mode], 2),
+                "response_cache_hits": stats["response_cache_hits"],
+                "scenario_cache_hits": stats["scenario_cache_hits"],
+                "pool_hits": pool.get("pool_hits", 0),
+                "network_constructions": pool.get(
+                    "constructions", len(batch)
+                ),
+            }
+        )
+    return results
+
+
+_results_cache = {}
+
+
+def bench_results(reps: int = 2):
+    """Cold/warm measurements (the BENCH_service.json payload); cached."""
+    if reps not in _results_cache:
+        _results_cache[reps] = measure(reps=reps)
+    return _results_cache[reps]
+
+
+def speedup(results=None) -> float:
+    results = results or bench_results()
+    by_mode = {r["workload"]: r for r in results}
+    return round(
+        by_mode["service_batch_warm"]["requests_per_sec"]
+        / by_mode["service_batch_cold"]["requests_per_sec"],
+        2,
+    )
+
+
+def experiment() -> Experiment:
+    results = bench_results()
+    rows = [
+        [
+            r["workload"],
+            r["requests"],
+            r["distinct"],
+            f"{r['elapsed_sec']:.3f}s",
+            f"{r['requests_per_sec']:,}",
+            r["network_constructions"],
+            r["pool_hits"],
+            r["response_cache_hits"],
+        ]
+        for r in results
+    ]
+    ratio = speedup(results)
+    return Experiment(
+        exp_id="X-SVC",
+        claim="warm service stack multiplies mixed-batch request throughput",
+        headers=[
+            "mode", "requests", "distinct", "best time", "req/s",
+            "nets built", "pool hits", "cache hits",
+        ],
+        rows=rows,
+        shape_holds=ratio >= TARGET_SPEEDUP,
+        notes=(
+            f"One mixed batch ({BATCH_SIZE} requests = {len(DISTINCT)} "
+            f"distinct x{REPEAT}, kinds {len(set(d[0] for d in DISTINCT))}, "
+            "n in {64, 256}) drained cold (fresh generation + fresh Network "
+            "per request, no caches) vs warm (NetworkPool + scenario cache + "
+            "deterministic response cache, fresh executor per rep).  "
+            "Responses asserted field-identical across modes.  Warm/cold "
+            f"throughput ratio {ratio:.2f}x (target {TARGET_SPEEDUP}x).  "
+            "Cold conservatively excludes the one-shot CLI's per-invocation "
+            "interpreter startup the service also amortizes."
+        ),
+    )
+
+
+def test_service_throughput(benchmark):
+    """Smoke-scale service drain: answers preserved, caches engaged."""
+    batch = build_batch()[:12]
+    cold = _cold_executor()
+    _, cold_responses = _drain(cold, batch)
+    warm = _warm_executor()
+
+    def run():
+        return _drain(warm, batch)
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    _, warm_responses = _drain(warm, batch)
+    assert [r.fingerprint() for r in warm_responses] == [
+        r.fingerprint() for r in cold_responses
+    ]
+    assert warm.response_cache_hits > 0

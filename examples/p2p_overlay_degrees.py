@@ -21,26 +21,25 @@ import math
 from repro import NCCConfig, Network
 from repro.core.degree_realization import realize_degree_sequence
 from repro.sequential import is_graphic
+from repro.service import DEFAULT_REGISTRY
 from repro.validation import check_degree_match, check_implicit, overlay_graph
 
 
-def build(n_super: int, n_regular: int, n_light: int, seed: int = 7):
-    n = n_super + n_regular + n_light
+def build(n: int = 32, seed: int = 7):
+    """A network plus the registry's capacity-class demand scenario.
+
+    ``capacity_classes`` is the named form of this example's old inline
+    glue: 1/8 supernodes (degree 8), half regular peers (degree 4), the
+    rest light clients (degree 2) — the same workload a service request
+    would name as ``{"scenario": "capacity_classes"}``.
+    """
     net = Network(n, NCCConfig(seed=seed))
-    ids = list(net.node_ids)
-    demands = {}
-    for i, v in enumerate(ids):
-        if i < n_super:
-            demands[v] = 8  # supernodes: high fan-out
-        elif i < n_super + n_regular:
-            demands[v] = 4  # regular peers
-        else:
-            demands[v] = 2  # light clients
-    return net, demands
+    degrees = DEFAULT_REGISTRY.materialize("capacity_classes", n=n, seed=seed)
+    return net, dict(zip(net.node_ids, degrees))
 
 
 def main() -> None:
-    net, demands = build(n_super=4, n_regular=16, n_light=12)
+    net, demands = build(n=32)
     seq = sorted(demands.values(), reverse=True)
     print(f"demand classes: {seq[:4]}... (n={net.n}, graphic={is_graphic(seq)})")
 
@@ -67,7 +66,7 @@ def main() -> None:
     print(f"supernode mean degree: {mean_super:.1f} (demanded 8)")
 
     # Now an unrealizable demand: an odd degree sum.
-    net2, demands2 = build(n_super=4, n_regular=16, n_light=12, seed=8)
+    net2, demands2 = build(n=32, seed=8)
     first_light = [v for v, d in demands2.items() if d == 2][0]
     demands2[first_light] = 3  # makes the sum odd -> not graphic
     result2 = realize_degree_sequence(net2, demands2)

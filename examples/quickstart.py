@@ -11,12 +11,16 @@ Run:  python examples/quickstart.py
 
 from repro import NCCConfig, Network
 from repro.core.explicit import realize_degree_sequence_explicit
+from repro.service import DEFAULT_REGISTRY
 from repro.validation import check_explicit, check_degree_match, overlay_graph
 
 
 def main() -> None:
     net = Network(12, NCCConfig(seed=42))
-    demands = {v: 3 for v in net.node_ids}
+    # "regular" is a named scenario in the service registry — the same
+    # workload a JSONL request would name as {"scenario": "regular"}.
+    degrees = DEFAULT_REGISTRY.materialize("regular", n=12, params={"degree": 3})
+    demands = dict(zip(net.node_ids, degrees))
 
     print(f"{net.n} peers, per-round budget: {net.send_cap} sends / "
           f"{net.recv_cap} receives of <= {net.config.max_words} words each")

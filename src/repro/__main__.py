@@ -12,18 +12,26 @@ writing a script:
   thresholds (Theorems 17/18);
 * ``approx --degrees 4,4,4,4,4,4 [--repairs 2]`` — the Õ(1) approximate
   realizer;
+* ``scenarios`` — list the named workload scenarios of the service
+  registry;
+* ``batch requests.jsonl`` (or ``-`` for stdin) — drain a JSONL request
+  batch through the warm-pool executor, one JSON response per line;
+* ``serve`` — long-lived JSONL service on stdin/stdout;
 * ``profile sorting --n 256 [--top 25] [--sort-by cumulative]`` — run a
-  workload under ``cProfile`` and print the hottest functions, so perf
-  work starts from data instead of guesses.
+  registry scenario under ``cProfile`` and print the hottest functions,
+  so perf work starts from data instead of guesses.
 
-Every command prints the verdict, edge count, and round/message costs.
+The protocol-running commands accept ``--engine {fast,reference}`` to
+select the round-execution engine (``fast`` is the default; both are
+bit-identical, see ``repro/ncc/engine.py``).  Every command prints the
+verdict, edge count, and round/message costs.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import Dict, List
+from typing import List
 
 from repro.ncc.config import NCCConfig, Variant
 from repro.ncc.network import Network
@@ -31,14 +39,21 @@ from repro.ncc.network import Network
 
 def _parse_ints(text: str) -> List[int]:
     try:
-        return [int(x) for x in text.replace(" ", "").split(",") if x != ""]
+        values = [int(x) for x in text.replace(" ", "").split(",") if x != ""]
     except ValueError:
         raise SystemExit(f"could not parse integer list: {text!r}")
+    if not values:
+        raise SystemExit(
+            f"empty integer list: {text!r} (expected comma-separated "
+            "integers, e.g. 3,3,2,2)"
+        )
+    return values
 
 
 def _make_net(n: int, args, ncc1: bool = False) -> Network:
     config = NCCConfig(
         seed=args.seed,
+        engine=getattr(args, "engine", "fast"),
         variant=Variant.NCC1 if ncc1 else Variant.NCC0,
         random_ids=not ncc1,
     )
@@ -153,79 +168,123 @@ def cmd_approx(args) -> int:
     return 0
 
 
-#: ``profile`` subcommand workloads: name -> (description, runner).
-#: Runners take (net, n, seed) and execute one full workload.
-def _profile_sorting(net, n: int, seed: int) -> None:
-    import random
-
-    from repro.primitives.protocol import run_protocol
-    from repro.primitives.sorting import distributed_sort
-
-    rng = random.Random(seed * 1000 + n)
-    table = {v: rng.randrange(n) for v in net.node_ids}
-    run_protocol(net, distributed_sort(net, lambda v: table[v]))
+# ---------------------------------------------------------------------- #
+# Service front ends                                                    #
+# ---------------------------------------------------------------------- #
 
 
-def _profile_bbst(net, n: int, seed: int) -> None:
-    from repro.primitives.bbst import build_bbst
-    from repro.primitives.protocol import run_protocol
+def _make_executor(args):
+    from repro.service import BatchExecutor, NetworkPool
 
-    run_protocol(net, build_bbst(net))
-
-
-def _profile_collection(net, n: int, seed: int) -> None:
-    from repro.primitives.bbst import build_bbst
-    from repro.primitives.collection import global_collect
-    from repro.primitives.protocol import run_protocol
-
-    k = max(1, n // 4)
-    ids = list(net.node_ids)
-    holders = {ids[(i * 3) % n]: ((ids[i % n],), (i,)) for i in range(k)}
-
-    def proto():
-        ns, root = yield from build_bbst(net)
-        yield from global_collect(
-            net, ns, list(net.node_ids), root, leader=root, holders=holders
+    try:
+        return BatchExecutor(
+            pool=None if getattr(args, "no_pool", False) else NetworkPool(),
+            cache_responses=not getattr(args, "no_cache", False),
+            mode=getattr(args, "mode", "sequential"),
+            workers=getattr(args, "workers", 4),
         )
-
-    run_protocol(net, proto())
-
-
-def _profile_realize(net, n: int, seed: int) -> None:
-    from repro.core.degree_realization import realize_degree_sequence
-    from repro.workloads import random_graphic_sequence
-
-    seq = random_graphic_sequence(n, 0.3, seed=seed)
-    realize_degree_sequence(net, dict(zip(net.node_ids, seq)))
+    except ValueError as exc:
+        raise SystemExit(str(exc))
 
 
-def _profile_tree(net, n: int, seed: int) -> None:
-    from repro.core.tree_realization import realize_tree
-    from repro.workloads import random_tree_sequence
+def cmd_scenarios(args) -> int:
+    from repro.service import DEFAULT_REGISTRY
 
-    seq = random_tree_sequence(n, seed=seed)
-    realize_tree(net, dict(zip(net.node_ids, seq)))
+    print(f"{'name':<18} {'kind':<16} description")
+    for scenario in DEFAULT_REGISTRY:
+        kind = "(profile only)" if scenario.is_primitive else scenario.kind
+        print(f"{scenario.name:<18} {kind:<16} {scenario.description}")
+    return 0
 
 
-PROFILE_WORKLOADS = {
-    "sorting": ("Theorem 3 distributed mergesort", _profile_sorting),
-    "bbst": ("Theorem 1 BBST construction", _profile_bbst),
-    "collection": ("Theorem 5 global token collection", _profile_collection),
-    "realize": ("Algorithm 3 degree-sequence realization", _profile_realize),
-    "tree": ("Algorithm 4/5 tree realization", _profile_tree),
-}
+def cmd_batch(args) -> int:
+    import json
+
+    from repro.service import run_batch_lines
+
+    if args.path == "-":
+        lines = sys.stdin.read().splitlines()
+    else:
+        try:
+            with open(args.path) as handle:
+                lines = handle.read().splitlines()
+        except OSError as exc:
+            raise SystemExit(f"cannot read batch file: {exc}")
+    executor = _make_executor(args)
+    responses = run_batch_lines(lines, executor)
+    errors = 0
+    for response in responses:
+        if response.verdict == "ERROR":
+            errors += 1
+        print(json.dumps(response.to_dict()))
+    stats = executor.stats()
+    pool = stats.get("pool", {})
+    print(
+        f"batch: {len(responses)} response(s), {errors} error(s); "
+        f"cache hits {stats['response_cache_hits']}, "
+        f"pool hits {pool.get('pool_hits', 0)}/{pool.get('leases', 0)}",
+        file=sys.stderr,
+    )
+    return 1 if errors else 0
+
+
+def cmd_serve(args) -> int:
+    from repro.service import serve
+
+    executor = _make_executor(args)
+    handled = serve(sys.stdin, sys.stdout, executor)
+    print(f"serve: emitted {handled} response(s)", file=sys.stderr)
+    return 0
+
+
+# ---------------------------------------------------------------------- #
+# Profiling                                                              #
+# ---------------------------------------------------------------------- #
+
+#: Pre-registry profile names kept as aliases into the scenario registry.
+PROFILE_ALIASES = {"realize": "random_graphic", "tree": "tree_random"}
 
 
 def cmd_profile(args) -> int:
     import cProfile
     import pstats
 
-    _description, runner = PROFILE_WORKLOADS[args.workload]
-    net = _make_net(args.n, args)
+    from repro.service import DEFAULT_REGISTRY, RealizationRequest, ServiceError, run_request
+
+    name = PROFILE_ALIASES.get(args.workload, args.workload)
+    # The workload and its parameters are validated here rather than via
+    # argparse choices so that building the parser never imports the
+    # service stack.
+    try:
+        scenario = DEFAULT_REGISTRY.get(name)
+        request = None
+        if not scenario.is_primitive:
+            request = RealizationRequest(
+                kind=scenario.kind,
+                scenario=name,
+                n=args.n,
+                seed=args.seed,
+                engine=getattr(args, "engine", "fast"),
+                sort_fidelity="full",
+                # Matches realize_tree's default, which the pre-registry
+                # profile runner used (the service default is min).
+                tree_variant="max_diameter",
+            ).validate()
+    except ServiceError as exc:
+        raise SystemExit(str(exc))
     profiler = cProfile.Profile()
-    profiler.enable()
-    runner(net, args.n, args.seed)
-    profiler.disable()
+    if scenario.is_primitive:
+        net = _make_net(args.n, args)
+        profiler.enable()
+        scenario.runner(net, args.n, args.seed)
+        profiler.disable()
+    else:
+        net = Network(request.size, request.config())
+        profiler.enable()
+        response = run_request(request, net)
+        profiler.disable()
+        if response.error:
+            raise SystemExit(f"profile workload failed: {response.error}")
     print(f"profile: {args.workload} (n={args.n}, seed={args.seed})")
     _report(net, "cost")
     stats = pstats.Stats(profiler)
@@ -241,6 +300,14 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--seed", type=int, default=0, help="simulation seed")
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def add_engine(p) -> None:
+        p.add_argument(
+            "--engine",
+            choices=("fast", "reference"),
+            default="fast",
+            help="round-execution engine (bit-identical; fast is the default)",
+        )
+
     p = sub.add_parser("info", help="show NCC model parameters")
     p.add_argument("--n", type=int, default=64)
     p.set_defaults(fn=cmd_info)
@@ -250,28 +317,54 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--explicit", action="store_true")
     p.add_argument("--envelope", action="store_true")
     p.add_argument("--fast", action="store_true", help="charged-mode sorting")
+    add_engine(p)
     p.set_defaults(fn=cmd_realize)
 
     p = sub.add_parser("tree", help="tree realization")
     p.add_argument("--degrees", required=True)
     p.add_argument("--variant", choices=("min", "max"), default="min")
     p.add_argument("--fast", action="store_true")
+    add_engine(p)
     p.set_defaults(fn=cmd_tree)
 
     p = sub.add_parser("connectivity", help="connectivity thresholds")
     p.add_argument("--rho", required=True, help="comma-separated thresholds")
     p.add_argument("--model", choices=("ncc0", "ncc1"), default="ncc0")
     p.add_argument("--fast", action="store_true")
+    add_engine(p)
     p.set_defaults(fn=cmd_connectivity)
 
     p = sub.add_parser("approx", help="Õ(1) approximate realization")
     p.add_argument("--degrees", required=True)
     p.add_argument("--repairs", type=int, default=0)
     p.add_argument("--fast", action="store_true")
+    add_engine(p)
     p.set_defaults(fn=cmd_approx)
 
+    p = sub.add_parser("scenarios", help="list named workload scenarios")
+    p.set_defaults(fn=cmd_scenarios)
+
+    p = sub.add_parser(
+        "batch", help="drain a JSONL request batch (file path or '-' for stdin)"
+    )
+    p.add_argument("path", help="JSONL file with one request object per line")
+    p.add_argument("--mode", choices=("sequential", "threads"), default="sequential")
+    p.add_argument("--workers", type=int, default=4)
+    p.add_argument("--no-pool", action="store_true", help="fresh network per request")
+    p.add_argument("--no-cache", action="store_true", help="disable response cache")
+    p.set_defaults(fn=cmd_batch)
+
+    p = sub.add_parser("serve", help="long-lived JSONL service on stdin/stdout")
+    p.add_argument("--no-pool", action="store_true", help="fresh network per request")
+    p.add_argument("--no-cache", action="store_true", help="disable response cache")
+    p.set_defaults(fn=cmd_serve)
+
     p = sub.add_parser("profile", help="profile a workload under cProfile")
-    p.add_argument("workload", choices=sorted(PROFILE_WORKLOADS))
+    p.add_argument(
+        "workload",
+        help="a scenario name from `python -m repro scenarios` "
+        "(plus legacy aliases: realize, tree)",
+    )
     p.add_argument("--n", type=int, default=256, help="network size")
     p.add_argument("--top", type=int, default=25, help="hotspots to print")
     p.add_argument(
@@ -280,6 +373,7 @@ def build_parser() -> argparse.ArgumentParser:
         default="cumulative",
         help="pstats sort column",
     )
+    add_engine(p)
     p.set_defaults(fn=cmd_profile)
     return parser
 

@@ -73,6 +73,9 @@ class ReferenceEngine:
     def __init__(self, net: "Network") -> None:
         self.net = net
 
+    def reset(self) -> None:
+        """Forget per-run state (:meth:`Network.reset` hook) — stateless."""
+
     def deliver(self, plan: "RoundPlan") -> Inboxes:
         """Validate, enforce and deliver one round, message by message."""
         net = self.net
@@ -145,6 +148,17 @@ class FastEngine:
         self._scalar_words: Dict[Tuple[type, object], int] = {}
         # Receivers whose defer-mode backlog is non-empty.
         self._spill_pending: set = set()
+
+    def reset(self) -> None:
+        """Forget per-run state (:meth:`Network.reset` hook).
+
+        Only the defer-mode pending set is per-run.  The word-count
+        caches are *pure* memoization — ``word_bits`` is fixed for the
+        network's lifetime and the cached count is a function of the
+        value alone — so a warm-pool lease keeps them, which is part of
+        the point of reusing networks.
+        """
+        self._spill_pending.clear()
 
     # -------------------------------------------------------------- #
     # Word accounting                                                #

@@ -114,8 +114,20 @@ class Network:
                 config.word_value_bits_factor * math.log2(self.ids.universe + 1)
             ),
         )
+        # A custom initial knowledge graph is not captured by (n, config),
+        # so such networks must not be pooled (NetworkPool checks this).
+        # Only a custom graph needs retaining for reset(); the default
+        # Gk is re-derived from (ids, variant), so ordinary networks pay
+        # no duplicate O(knowledge) copy at construction.
+        self.custom_knowledge = knowledge is not None
+        self._initial_known: Optional[Dict[int, frozenset]] = None
         if knowledge is None:
             knowledge = knowledge_for_variant(self.ids.ids, config.variant)
+        else:
+            self._initial_known = {
+                v: frozenset(u for u in knowledge.get(v, ()) if u != v)
+                for v in self.ids.ids
+            }
         # Knowing yourself is implicit; self-entries are normalised away
         # (the engines rely on dst never appearing in known[dst]).
         self.known: Dict[int, set] = {
@@ -140,6 +152,52 @@ class Network:
 
         # Round-execution engine (config.engine: "fast" | "reference").
         self.engine = make_engine(config.engine, self)
+
+    # ------------------------------------------------------------------ #
+    # Warm reuse (the service pool's lease API)                          #
+    # ------------------------------------------------------------------ #
+
+    def reset(self) -> "Network":
+        """Return this network to its pristine post-construction state.
+
+        Restores the initial knowledge graph, empties every node's
+        memory, re-seeds the protocol RNG, zeroes all meters, drops
+        phases/tracers, clears defer-mode backlogs, and resets the round
+        engine.  A workload run after ``reset()`` is bit-identical
+        (rounds, messages, :class:`~repro.ncc.metrics.RoundStats`,
+        realization result) to the same workload on a freshly constructed
+        ``Network`` with the same parameters — the property
+        ``tests/test_service_pool.py`` enforces for both engines, and the
+        contract :class:`~repro.service.pool.NetworkPool` leases rely on.
+
+        IDs are part of the construction parameters (a seeded injection),
+        so they are deliberately retained.  Returns ``self`` so pools can
+        ``push(net.reset())``.
+        """
+        if self._initial_known is not None:  # custom knowledge graph
+            self.known = {
+                v: set(initial) for v, initial in self._initial_known.items()
+            }
+        else:
+            knowledge = knowledge_for_variant(self.ids.ids, self.config.variant)
+            self.known = {
+                v: {u for u in knowledge.get(v, ()) if u != v}
+                for v in self.ids.ids
+            }
+        self.mem = {v: {} for v in self.ids.ids}
+        self.rng = random.Random(self.config.seed ^ 0x9E3779B9)
+        self.rounds = 0
+        self.simulated_rounds = 0
+        self.charged_rounds = 0
+        self.messages_delivered = 0
+        self.words_delivered = 0
+        self.max_round_load = 0
+        self._phases = []
+        self._phase_stack = []
+        self.tracers = []
+        self._deferred = defaultdict(deque)
+        self.engine.reset()
+        return self
 
     # ------------------------------------------------------------------ #
     # Topology / identity helpers                                        #

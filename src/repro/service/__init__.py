@@ -1,0 +1,64 @@
+"""repro.service — the batch realization service.
+
+The long-lived front end over the paper's realizers: typed
+request/response envelopes (:mod:`~repro.service.api`), a registry of
+named workload scenarios (:mod:`~repro.service.registry`), a warm
+:class:`NetworkPool` built on the verified ``Network.reset()`` lease
+contract (:mod:`~repro.service.pool`), and a batch/queue executor with
+JSONL front ends (:mod:`~repro.service.executor`), exposed on the CLI as
+``python -m repro serve`` and ``python -m repro batch``.
+
+Quickstart::
+
+    from repro.service import BatchExecutor, NetworkPool, RealizationRequest
+
+    executor = BatchExecutor(pool=NetworkPool())
+    response = executor.handle(RealizationRequest(
+        kind="degree_implicit", scenario="power_law", n=64, seed=7,
+    ))
+    assert response.verdict == "REALIZED"
+"""
+
+from repro.service.api import (
+    KINDS,
+    RealizationRequest,
+    RealizationResponse,
+    ServiceError,
+    error_response,
+)
+from repro.service.executor import (
+    BatchExecutor,
+    parse_request_line,
+    parse_request_payload,
+    resolve_workload,
+    run_batch_lines,
+    run_request,
+    serve,
+)
+from repro.service.pool import NetworkPool
+from repro.service.registry import (
+    DEFAULT_REGISTRY,
+    Scenario,
+    ScenarioRegistry,
+    default_registry,
+)
+
+__all__ = [
+    "BatchExecutor",
+    "DEFAULT_REGISTRY",
+    "KINDS",
+    "NetworkPool",
+    "RealizationRequest",
+    "RealizationResponse",
+    "Scenario",
+    "ScenarioRegistry",
+    "ServiceError",
+    "default_registry",
+    "error_response",
+    "parse_request_line",
+    "parse_request_payload",
+    "resolve_workload",
+    "run_batch_lines",
+    "run_request",
+    "serve",
+]

@@ -1,0 +1,377 @@
+"""Typed request/response envelopes for the batch realization service.
+
+A :class:`RealizationRequest` names one unit of work: which realizer to
+run (``kind``), on what workload (an inline ``degrees``/``rho`` vector,
+or a named :mod:`~repro.service.registry` scenario plus ``n``), with
+which simulation parameters (seed, engine, sorting fidelity, per-kind
+options).  Requests are frozen and hashable: two requests that differ
+only in ``request_id`` describe the *same deterministic computation*,
+which is what lets the executor memoize responses for repeated traffic.
+
+A :class:`RealizationResponse` carries the verdict, the realized edge
+count, the full round/message meters, and per-kind detail.  Both
+envelopes round-trip through plain JSON dicts (``to_dict``/``from_dict``)
+so the CLI front ends can speak JSONL.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+from repro.ncc.config import NCCConfig, Variant
+
+#: The workload kinds the service accepts, mapping 1:1 onto the paper's
+#: realizers (Theorems 11/12/13, 14/16, 17/18, and the Õ(1) approximate
+#: realizer).
+KINDS = (
+    "degree_implicit",
+    "degree_explicit",
+    "degree_envelope",
+    "tree",
+    "connectivity",
+    "approximate",
+)
+
+_TREE_VARIANTS = {
+    "min": "min_diameter",
+    "max": "max_diameter",
+    "min_diameter": "min_diameter",
+    "max_diameter": "max_diameter",
+}
+
+
+class ServiceError(ValueError):
+    """A malformed or infeasible service request."""
+
+
+_SCALAR_PARAM_TYPES = (int, float, bool, str, type(None))
+
+
+def _params_key(params: Optional[Mapping[str, Any]]) -> Tuple[Tuple[str, Any], ...]:
+    """Canonical hashable form of a scenario-parameter mapping.
+
+    Rejects non-mapping params and non-scalar values up front: requests
+    are hashed (cache keys), so an unhashable value must surface as a
+    :class:`ServiceError` here, not a ``TypeError`` deep in the executor.
+    """
+    if not params:
+        return ()
+    if not isinstance(params, Mapping):
+        raise ServiceError(
+            f"'params' must be an object, got {type(params).__name__}"
+        )
+    for key, value in params.items():
+        if not isinstance(key, str):
+            raise ServiceError(f"param names must be strings, got {key!r}")
+        if not isinstance(value, _SCALAR_PARAM_TYPES):
+            raise ServiceError(
+                f"param {key!r} must be a scalar, got {type(value).__name__}"
+            )
+    return tuple(sorted(params.items()))
+
+
+@dataclass(frozen=True)
+class RealizationRequest:
+    """One realization job.
+
+    Exactly one of ``degrees`` (inline workload vector; also the ρ vector
+    for ``kind="connectivity"``) or ``scenario`` (+ ``n``) must be given.
+    """
+
+    kind: str
+    request_id: str = ""
+    degrees: Optional[Tuple[int, ...]] = None
+    scenario: Optional[str] = None
+    params: Tuple[Tuple[str, Any], ...] = ()
+    n: Optional[int] = None
+    seed: int = 0
+    engine: str = "fast"
+    sort_fidelity: str = "charged"
+    tree_variant: str = "min_diameter"
+    model: str = "ncc0"  # connectivity only: "ncc0" | "ncc1"
+    repairs: int = 0  # approximate only
+    explicit_envelope: bool = False  # degree_envelope only
+
+    def __post_init__(self) -> None:
+        if self.degrees is not None and not isinstance(self.degrees, tuple):
+            object.__setattr__(self, "degrees", tuple(self.degrees))
+        if not isinstance(self.params, tuple):
+            object.__setattr__(self, "params", _params_key(self.params))
+        else:
+            # Canonical pair order even for directly built tuples, so
+            # equal computations share one cache key.  Param names are
+            # unique strings, so values are never compared; malformed
+            # entries that defeat sorting are left for validate().
+            try:
+                object.__setattr__(self, "params", tuple(sorted(self.params)))
+            except TypeError:
+                pass
+        # A redundant n alongside inline degrees is normalised away so the
+        # two spellings of the same computation share one cache key (an
+        # *inconsistent* or type-invalid n is kept for validate() to
+        # reject — True == 1 must not slip through the equality).
+        if (
+            self.degrees is not None
+            and type(self.n) is int  # bool/float n must reach validate()
+            and self.n == len(self.degrees)
+        ):
+            object.__setattr__(self, "n", None)
+        # "min"/"max" aliases normalise here (not just in from_dict) so
+        # directly constructed requests run, and alias spellings share a
+        # cache key.
+        if self.tree_variant in _TREE_VARIANTS:
+            object.__setattr__(
+                self, "tree_variant", _TREE_VARIANTS[self.tree_variant]
+            )
+
+    # ---------------------------------------------------------------- #
+    # Validation and derived simulation parameters                     #
+    # ---------------------------------------------------------------- #
+
+    def validate(self) -> "RealizationRequest":
+        """Raise :class:`ServiceError` on malformed requests; return self."""
+        # Field types first: every later check (and the executor's cache
+        # hashing and Network construction) assumes them.
+        for attr, expected in (
+            ("request_id", str), ("kind", str), ("seed", int),
+            ("repairs", int), ("engine", str), ("sort_fidelity", str),
+            ("tree_variant", str), ("model", str), ("explicit_envelope", bool),
+        ):
+            value = getattr(self, attr)
+            bad_bool = expected is int and isinstance(value, bool)
+            if bad_bool or not isinstance(value, expected):
+                raise ServiceError(
+                    f"{attr!r} must be {expected.__name__}, got "
+                    f"{type(value).__name__}"
+                )
+        if self.n is not None and (
+            not isinstance(self.n, int) or isinstance(self.n, bool)
+        ):
+            raise ServiceError(f"'n' must be an integer, got {self.n!r}")
+        if self.degrees is not None and any(
+            not isinstance(d, int) or isinstance(d, bool) for d in self.degrees
+        ):
+            raise ServiceError(
+                f"'degrees' must contain integers only: {self.degrees!r}"
+            )
+        try:
+            params_map = dict(self.params)
+        except (TypeError, ValueError):
+            raise ServiceError(
+                f"'params' must be (name, value) pairs: {self.params!r}"
+            ) from None
+        _params_key(params_map)
+        if self.kind not in KINDS:
+            raise ServiceError(
+                f"unknown kind {self.kind!r}; expected one of {sorted(KINDS)}"
+            )
+        if (self.degrees is None) == (self.scenario is None):
+            raise ServiceError(
+                "exactly one of 'degrees' and 'scenario' must be provided"
+            )
+        if self.scenario is not None and (self.n is None or self.n < 1):
+            raise ServiceError("scenario requests need a positive 'n'")
+        if self.degrees is not None:
+            if len(self.degrees) == 0:
+                raise ServiceError("'degrees' must be a non-empty integer list")
+            if self.n is not None and self.n != len(self.degrees):
+                raise ServiceError(
+                    f"n={self.n} disagrees with len(degrees)={len(self.degrees)}"
+                )
+        if self.engine not in ("fast", "reference"):
+            raise ServiceError(f"unknown engine {self.engine!r}")
+        if self.sort_fidelity not in ("full", "charged"):
+            raise ServiceError(f"unknown sort_fidelity {self.sort_fidelity!r}")
+        if self.kind == "tree" and self.tree_variant not in _TREE_VARIANTS:
+            raise ServiceError(f"unknown tree_variant {self.tree_variant!r}")
+        if self.kind == "connectivity" and self.model not in ("ncc0", "ncc1"):
+            raise ServiceError(f"unknown connectivity model {self.model!r}")
+        if self.repairs < 0:
+            raise ServiceError("'repairs' must be >= 0")
+        return self
+
+    @property
+    def size(self) -> int:
+        """The network size this request runs on."""
+        if self.degrees is not None:
+            return len(self.degrees)
+        assert self.n is not None
+        return self.n
+
+    def config(self) -> NCCConfig:
+        """The :class:`NCCConfig` (and pool key half) for this request."""
+        ncc1 = self.kind == "connectivity" and self.model == "ncc1"
+        return NCCConfig(
+            seed=self.seed,
+            engine=self.engine,
+            variant=Variant.NCC1 if ncc1 else Variant.NCC0,
+            random_ids=not ncc1,
+        )
+
+    def cache_key(self) -> "RealizationRequest":
+        """The request with its identity stripped and kind-irrelevant
+        options defaulted: equal keys ⇒ equal deterministic computations
+        ⇒ shareable responses (e.g. a stray ``repairs=3`` on a tree
+        request must not split the cache)."""
+        neutral = {"request_id": ""}
+        if self.kind != "tree":
+            neutral["tree_variant"] = "min_diameter"
+        if self.kind != "connectivity":
+            neutral["model"] = "ncc0"
+        elif self.model == "ncc1":
+            # The NCC1 realizer takes no sorting-fidelity knob.
+            neutral["sort_fidelity"] = "charged"
+        if self.kind != "approximate":
+            neutral["repairs"] = 0
+        if self.kind != "degree_envelope":
+            neutral["explicit_envelope"] = False
+        if self.scenario is None:
+            neutral["params"] = ()
+        return replace(self, **neutral)
+
+    # ---------------------------------------------------------------- #
+    # JSON mapping                                                     #
+    # ---------------------------------------------------------------- #
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "RealizationRequest":
+        """Build and validate a request from a JSON-style dict."""
+        if not isinstance(payload, Mapping):
+            raise ServiceError(f"request must be an object, got {type(payload).__name__}")
+        known = {f for f in cls.__dataclass_fields__}
+        unknown = set(payload) - known - {"rho"}
+        if unknown:
+            raise ServiceError(f"unknown request field(s): {sorted(unknown)}")
+        data = dict(payload)
+        # "rho" is an accepted alias for the connectivity workload vector.
+        if "rho" in data:
+            if "degrees" in data:
+                raise ServiceError("give either 'degrees' or 'rho', not both")
+            data["degrees"] = data.pop("rho")
+        if data.get("degrees") is not None:
+            if isinstance(data["degrees"], (str, bytes)):
+                raise ServiceError(
+                    f"'degrees' must be a list of integers, not a string: "
+                    f"{data['degrees']!r}"
+                )
+            try:
+                data["degrees"] = tuple(data["degrees"])
+            except TypeError:
+                raise ServiceError(
+                    f"'degrees' must be a list of integers: {data['degrees']!r}"
+                ) from None
+        data["params"] = _params_key(data.get("params"))
+        try:
+            request = cls(**data)
+        except TypeError as exc:
+            raise ServiceError(f"malformed request: {exc}") from None
+        return request.validate()
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready dict, omitting defaulted fields for readability."""
+        out: Dict[str, Any] = {"kind": self.kind}
+        if self.request_id:
+            out["request_id"] = self.request_id
+        if self.degrees is not None:
+            out["degrees"] = list(self.degrees)
+        if self.scenario is not None:
+            out["scenario"] = self.scenario
+            out["n"] = self.n
+        if self.params:
+            out["params"] = dict(self.params)
+        for attr, default in (
+            ("seed", 0),
+            ("engine", "fast"),
+            ("sort_fidelity", "charged"),
+            ("tree_variant", "min_diameter"),
+            ("model", "ncc0"),
+            ("repairs", 0),
+            ("explicit_envelope", False),
+        ):
+            value = getattr(self, attr)
+            if value != default:
+                out[attr] = value
+        return out
+
+
+@dataclass(frozen=True)
+class RealizationResponse:
+    """Outcome of one request.
+
+    ``verdict`` is the service-level summary: ``REALIZED`` /
+    ``UNREALIZABLE`` (the distributed announcement), ``APPROXIMATED``
+    (the approximate realizer always produces an overlay, with its error
+    in ``detail``), or ``ERROR`` (the request was malformed or the run
+    raised).  ``cached`` marks responses served from the executor's
+    response cache; by determinism they are field-identical to a fresh
+    run (``fingerprint()`` is the comparison the tests use).
+    """
+
+    request_id: str
+    kind: str
+    ok: bool
+    verdict: str
+    num_edges: int = 0
+    rounds: int = 0
+    simulated_rounds: int = 0
+    charged_rounds: int = 0
+    messages: int = 0
+    words: int = 0
+    detail: Tuple[Tuple[str, Any], ...] = ()
+    cached: bool = False
+    elapsed_sec: float = 0.0
+    error: Optional[str] = None
+
+    def fingerprint(self) -> Tuple:
+        """Everything except identity and measurement volatiles."""
+        return (
+            self.kind,
+            self.ok,
+            self.verdict,
+            self.num_edges,
+            self.rounds,
+            self.simulated_rounds,
+            self.charged_rounds,
+            self.messages,
+            self.words,
+            self.detail,
+            self.error,
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {
+            "request_id": self.request_id,
+            "kind": self.kind,
+            "ok": self.ok,
+            "verdict": self.verdict,
+            "num_edges": self.num_edges,
+            "rounds": self.rounds,
+            "simulated_rounds": self.simulated_rounds,
+            "charged_rounds": self.charged_rounds,
+            "messages": self.messages,
+            "words": self.words,
+            "detail": dict(self.detail),
+            "cached": self.cached,
+            "elapsed_sec": round(self.elapsed_sec, 6),
+        }
+        if self.error is not None:
+            out["error"] = self.error
+        return out
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "RealizationResponse":
+        data = dict(payload)
+        data["detail"] = tuple(sorted(dict(data.get("detail", ())).items()))
+        return cls(**data)
+
+
+def error_response(request_id: str, kind: str, message: str) -> RealizationResponse:
+    """The uniform failure envelope."""
+    return RealizationResponse(
+        request_id=request_id,
+        kind=kind,
+        ok=False,
+        verdict="ERROR",
+        error=message,
+    )

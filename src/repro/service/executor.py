@@ -1,0 +1,416 @@
+"""The batch executor: drain realization requests across a warm pool.
+
+``run_request`` is the stateless core — one request, one network, one
+realizer dispatch, one response.  :class:`BatchExecutor` wraps it with
+the three warm-path layers a long-lived service wants:
+
+* a :class:`~repro.service.pool.NetworkPool` so requests lease warm
+  networks instead of constructing them;
+* the :class:`~repro.service.registry.ScenarioRegistry`'s memoized
+  materialization so named workloads are generated once;
+* a response cache: the simulation is deterministic in the request's
+  ``cache_key()`` (everything but ``request_id``), so repeated requests
+  — the shape of real service traffic — are answered without re-running
+  the realizer.  Cached responses are field-identical to fresh ones
+  (``RealizationResponse.fingerprint()``; enforced by the tests and the
+  service benchmark) and are marked ``cached=True``.
+
+Two drain modes: ``sequential`` (default) and ``threads`` (a
+``ThreadPoolExecutor`` sharing the pool and caches — request handling is
+pure Python, so threads buy overlap rather than parallel speedup today;
+the mode exists so the multiprocess sharded engine can slot in behind
+the same API).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import io
+import json
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.ncc.network import Network
+from repro.service.api import (
+    RealizationRequest,
+    RealizationResponse,
+    ServiceError,
+    error_response,
+)
+from repro.service.pool import NetworkPool
+from repro.service.registry import DEFAULT_REGISTRY, ScenarioRegistry
+
+EXECUTOR_MODES = ("sequential", "threads")
+
+
+def resolve_workload(
+    request: RealizationRequest,
+    registry: ScenarioRegistry = DEFAULT_REGISTRY,
+    use_cache: bool = True,
+) -> Tuple[int, ...]:
+    """The request's workload vector (inline, or materialized scenario)."""
+    if request.degrees is not None:
+        return request.degrees
+    assert request.scenario is not None and request.n is not None
+    return registry.materialize(
+        request.scenario,
+        request.n,
+        seed=request.seed,
+        params=dict(request.params),
+        use_cache=use_cache,
+    )
+
+
+def run_request(
+    request: RealizationRequest,
+    net: Network,
+    workload: Optional[Sequence[int]] = None,
+    registry: ScenarioRegistry = DEFAULT_REGISTRY,
+) -> RealizationResponse:
+    """Execute one validated request on ``net`` and envelope the outcome.
+
+    ``net`` must be pristine and match ``request.size`` /
+    ``request.config()`` (the executor guarantees this; direct callers
+    are trusted).  Realizer errors become ``verdict="ERROR"`` responses,
+    not exceptions — the batch keeps draining.
+    """
+    started = time.perf_counter()
+    try:
+        vector = tuple(workload) if workload is not None else resolve_workload(
+            request, registry
+        )
+        demands = dict(zip(net.node_ids, vector))
+        detail: Dict[str, Any] = {}
+        kind = request.kind
+
+        if kind in ("degree_implicit", "degree_explicit", "degree_envelope"):
+            from repro.core.degree_realization import realize_degree_sequence
+            from repro.core.envelope import realize_envelope
+            from repro.core.explicit import realize_degree_sequence_explicit
+
+            if kind == "degree_implicit":
+                result = realize_degree_sequence(
+                    net, demands, sort_fidelity=request.sort_fidelity
+                )
+            elif kind == "degree_explicit":
+                result = realize_degree_sequence_explicit(
+                    net, demands, sort_fidelity=request.sort_fidelity
+                )
+            else:
+                result = realize_envelope(
+                    net,
+                    demands,
+                    explicit=request.explicit_envelope,
+                    sort_fidelity=request.sort_fidelity,
+                )
+            verdict = "REALIZED" if result.realized else "UNREALIZABLE"
+            detail["phases"] = result.phases
+            detail["explicit"] = result.explicit
+            detail["announced_by"] = len(result.announced_unrealizable_by)
+        elif kind == "tree":
+            from repro.core.tree_realization import realize_tree
+
+            result = realize_tree(
+                net,
+                demands,
+                variant=request.tree_variant,
+                sort_fidelity=request.sort_fidelity,
+            )
+            verdict = "REALIZED" if result.realized else "UNREALIZABLE"
+            detail["diameter"] = result.diameter
+            detail["variant"] = request.tree_variant
+        elif kind == "connectivity":
+            from repro.core.connectivity import (
+                realize_connectivity_ncc0,
+                realize_connectivity_ncc1,
+            )
+
+            if request.model == "ncc1":
+                result = realize_connectivity_ncc1(net, demands)
+            else:
+                result = realize_connectivity_ncc0(
+                    net, demands, sort_fidelity=request.sort_fidelity
+                )
+            verdict = "REALIZED"
+            detail["lower_bound_edges"] = result.lower_bound_edges
+            detail["approximation_ratio"] = round(result.approximation_ratio, 4)
+            detail["explicit"] = result.explicit
+        elif kind == "approximate":
+            from repro.core.approximate import approximate_degree_realization
+
+            result = approximate_degree_realization(
+                net,
+                demands,
+                sort_fidelity=request.sort_fidelity,
+                repair_rounds=request.repairs,
+            )
+            verdict = "APPROXIMATED"
+            detail["l1_error"] = result.l1_error
+            detail["relative_error"] = round(result.relative_error, 6)
+            detail["self_pairs"] = result.self_pairs
+            detail["duplicate_pairs"] = result.duplicate_pairs
+        else:  # pragma: no cover - request.validate() forbids this
+            raise ServiceError(f"unknown kind {kind!r}")
+    except Exception as exc:
+        response = error_response(request.request_id, request.kind, str(exc))
+        return response
+
+    stats = result.stats
+    return RealizationResponse(
+        request_id=request.request_id,
+        kind=request.kind,
+        ok=verdict != "UNREALIZABLE",
+        verdict=verdict,
+        num_edges=result.num_edges,
+        rounds=stats.rounds,
+        simulated_rounds=stats.simulated_rounds,
+        charged_rounds=stats.charged_rounds,
+        messages=stats.messages,
+        words=stats.words,
+        detail=tuple(sorted(detail.items())),
+        elapsed_sec=time.perf_counter() - started,
+    )
+
+
+class BatchExecutor:
+    """Drains request batches/queues over a shared pool and caches.
+
+    Parameters
+    ----------
+    pool:
+        The warm-network pool; ``None`` disables pooling (a fresh
+        ``Network`` per request — the cold path the service benchmark
+        compares against).
+    registry:
+        Scenario registry for named workloads.
+    cache_responses:
+        Memoize responses by ``request.cache_key()``.  Sound because the
+        whole simulation is deterministic in that key; disable for
+        workloads with non-request randomness (there are none today).
+        Only successful computations are cached — an ``ERROR`` response
+        may reflect a transient environment failure, not a property of
+        the request.  The cache is FIFO-bounded by
+        ``max_cached_responses`` so long-lived services stay bounded
+        under diverse traffic.
+    cache_scenarios:
+        Use the registry's memoized materialization; disable to force
+        regeneration per request (the benchmark's cold mode).
+    mode / workers:
+        ``"sequential"`` or ``"threads"`` (+ worker count) for
+        :meth:`run`.
+    """
+
+    def __init__(
+        self,
+        pool: Optional[NetworkPool] = None,
+        registry: ScenarioRegistry = DEFAULT_REGISTRY,
+        cache_responses: bool = True,
+        cache_scenarios: bool = True,
+        mode: str = "sequential",
+        workers: int = 4,
+        max_cached_responses: int = 4096,
+    ) -> None:
+        if mode not in EXECUTOR_MODES:
+            raise ValueError(f"mode must be one of {EXECUTOR_MODES}, got {mode!r}")
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.pool = pool
+        self.registry = registry
+        self.mode = mode
+        self.workers = workers
+        self.cache_responses = cache_responses
+        self.cache_scenarios = cache_scenarios
+        self.max_cached_responses = max_cached_responses
+        self._response_cache: Dict[RealizationRequest, RealizationResponse] = {}
+        # One lock guards the cache and the counters (threads mode).
+        self._cache_lock = threading.Lock()
+        self.requests_handled = 0
+        self.response_cache_hits = 0
+        # The registry may be shared (DEFAULT_REGISTRY); snapshot its
+        # counters so stats() excludes traffic from before this executor
+        # existed.  (Concurrent traffic from *other* executors sharing
+        # the registry is still counted — give each executor its own
+        # registry when per-executor numbers must be exact.)
+        self._registry_hits_base = registry.cache_hits
+        self._registry_misses_base = registry.cache_misses
+
+    # ---------------------------------------------------------------- #
+    # Single requests                                                  #
+    # ---------------------------------------------------------------- #
+
+    def handle(self, request: RealizationRequest) -> RealizationResponse:
+        """One request through the full warm path (validate/cache/run)."""
+        try:
+            request.validate()
+            key = request.cache_key() if self.cache_responses else None
+            if self.cache_responses:
+                with self._cache_lock:
+                    hit = self._response_cache.get(key)
+                    if hit is not None:
+                        self.requests_handled += 1
+                        self.response_cache_hits += 1
+                if hit is not None:
+                    return dataclasses.replace(
+                        hit,
+                        request_id=request.request_id,
+                        cached=True,
+                        elapsed_sec=0.0,
+                    )
+            workload = resolve_workload(
+                request, self.registry, use_cache=self.cache_scenarios
+            )
+            n, config = request.size, request.config()
+            if self.pool is not None:
+                with self.pool.network(n, config) as net:
+                    response = run_request(request, net, workload, self.registry)
+            else:
+                response = run_request(
+                    request, Network(n, config), workload, self.registry
+                )
+        except ServiceError as exc:
+            with self._cache_lock:
+                self.requests_handled += 1
+            return error_response(request.request_id, request.kind, str(exc))
+        except Exception as exc:  # last resort: a long-lived serve loop
+            # must envelope even unforeseen failures, not die mid-stream.
+            with self._cache_lock:
+                self.requests_handled += 1
+            return error_response(
+                request.request_id,
+                request.kind,
+                f"internal error: {type(exc).__name__}: {exc}",
+            )
+        with self._cache_lock:
+            self.requests_handled += 1
+            # Cache successful computations only: an ERROR may reflect a
+            # transient environment failure (e.g. memory pressure), which
+            # must not be replayed forever for a deterministic key.
+            if self.cache_responses and response.verdict != "ERROR":
+                self._response_cache.setdefault(key, response)
+                while len(self._response_cache) > self.max_cached_responses:
+                    self._response_cache.pop(next(iter(self._response_cache)))
+        return response
+
+    def handle_dict(self, payload: Mapping[str, Any]) -> RealizationResponse:
+        """Parse + handle one JSON-style request dict."""
+        parsed = parse_request_payload(payload)
+        if isinstance(parsed, RealizationResponse):
+            return parsed
+        return self.handle(parsed)
+
+    # ---------------------------------------------------------------- #
+    # Batches                                                          #
+    # ---------------------------------------------------------------- #
+
+    def run(self, requests: Iterable[RealizationRequest]) -> List[RealizationResponse]:
+        """Drain a batch, preserving request order in the responses."""
+        batch = list(requests)
+        if self.mode == "threads" and len(batch) > 1:
+            with ThreadPoolExecutor(max_workers=self.workers) as tpe:
+                return list(tpe.map(self.handle, batch))
+        return [self.handle(request) for request in batch]
+
+    def stats(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {
+            "requests_handled": self.requests_handled,
+            "response_cache_hits": self.response_cache_hits,
+            "response_cache_size": len(self._response_cache),
+            "scenario_cache_hits": self.registry.cache_hits - self._registry_hits_base,
+            "scenario_cache_misses": (
+                self.registry.cache_misses - self._registry_misses_base
+            ),
+        }
+        if self.pool is not None:
+            out["pool"] = self.pool.stats()
+        return out
+
+
+# ---------------------------------------------------------------------- #
+# JSONL front ends (python -m repro serve / batch)                       #
+# ---------------------------------------------------------------------- #
+
+
+def parse_request_payload(payload: Any):
+    """One JSON-style value -> :class:`RealizationRequest`, or an ERROR
+    :class:`RealizationResponse` enveloping the parse failure.
+
+    The single parse-error path every front end (``handle_dict``,
+    :func:`serve`, :func:`run_batch_lines`) shares.
+    """
+    try:
+        return RealizationRequest.from_dict(payload)
+    except ServiceError as exc:
+        rid = payload.get("request_id", "") if isinstance(payload, Mapping) else ""
+        kind = payload.get("kind", "?") if isinstance(payload, Mapping) else "?"
+        return error_response(str(rid), str(kind), str(exc))
+
+
+def parse_request_line(line: str):
+    """One JSONL line -> request or ERROR response (never raises)."""
+    try:
+        payload = json.loads(line)
+    except json.JSONDecodeError as exc:
+        return error_response("", "?", f"bad JSON: {exc}")
+    return parse_request_payload(payload)
+
+
+def serve(
+    in_stream: io.TextIOBase,
+    out_stream: io.TextIOBase,
+    executor: Optional[BatchExecutor] = None,
+) -> int:
+    """Long-lived JSONL loop: one request per line in, one response out.
+
+    Malformed lines produce ``verdict="ERROR"`` responses (the stream
+    keeps serving).  Returns the number of responses emitted, including
+    parse-error envelopes (``executor.requests_handled`` counts only the
+    requests that reached the executor) — the loop ends at EOF.
+    """
+    if executor is None:
+        executor = BatchExecutor(pool=NetworkPool())
+    handled = 0
+    for line in in_stream:
+        line = line.strip()
+        if not line:
+            continue
+        parsed = parse_request_line(line)
+        if isinstance(parsed, RealizationResponse):
+            response = parsed
+        else:
+            response = executor.handle(parsed)
+        out_stream.write(json.dumps(response.to_dict()) + "\n")
+        out_stream.flush()
+        handled += 1
+    return handled
+
+
+def run_batch_lines(
+    lines: Iterable[str],
+    executor: Optional[BatchExecutor] = None,
+) -> List[RealizationResponse]:
+    """Parse a JSONL batch and drain it through ``executor``."""
+    if executor is None:
+        executor = BatchExecutor(pool=NetworkPool())
+    # Parse every line first (parse errors become in-place ERROR
+    # responses), then drain the well-formed requests as one batch so
+    # the executor's threaded mode can overlap them.
+    responses: List[Optional[RealizationResponse]] = []
+    requests: List[RealizationRequest] = []
+    for line in lines:
+        line = line.strip()
+        if not line:
+            continue
+        parsed = parse_request_line(line)
+        if isinstance(parsed, RealizationResponse):
+            responses.append(parsed)
+        else:
+            requests.append(parsed)
+            responses.append(None)  # placeholder, filled after the drain
+
+    outcomes = iter(executor.run(requests))
+    return [
+        response if response is not None else next(outcomes)
+        for response in responses
+    ]

@@ -61,5 +61,100 @@ class TestCLI:
         with pytest.raises(SystemExit):
             main(["realize", "--degrees", "a,b"])
 
+    def test_empty_degree_list_rejected(self):
+        with pytest.raises(SystemExit, match="empty integer list"):
+            main(["realize", "--degrees", ""])
+
+    def test_garbage_adjacent_degree_list_rejected(self):
+        with pytest.raises(SystemExit, match="empty integer list"):
+            main(["tree", "--degrees", ",, ,"])
+
     def test_seed_flag(self, capsys):
         assert main(["--seed", "7", "realize", "--degrees", "2,2,2,2", "--fast"]) == 0
+
+    def test_engine_flag_selects_engine(self, capsys):
+        assert main(["realize", "--degrees", "2,2,2,2", "--fast",
+                     "--engine", "reference"]) == 0
+        reference_out = capsys.readouterr().out
+        assert main(["realize", "--degrees", "2,2,2,2", "--fast",
+                     "--engine", "fast"]) == 0
+        fast_out = capsys.readouterr().out
+        # Bit-identical engines: the printed costs must agree.
+        assert reference_out == fast_out
+
+    def test_engine_flag_on_tree_and_connectivity(self, capsys):
+        assert main(["tree", "--degrees", "3,2,2,1,1,1,2", "--fast",
+                     "--engine", "reference"]) == 0
+        assert main(["connectivity", "--rho", "2,2,1,1,1,1", "--fast",
+                     "--engine", "reference"]) == 0
+
+
+class TestServiceCLI:
+    def test_scenarios_listing(self, capsys):
+        assert main(["scenarios"]) == 0
+        out = capsys.readouterr().out
+        for name in ("power_law", "tree_random", "rho_uniform", "sorting"):
+            assert name in out
+
+    def test_batch_file(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "requests.jsonl"
+        path.write_text(
+            "\n".join(
+                [
+                    '{"request_id": "a", "kind": "degree_implicit",'
+                    ' "scenario": "regular", "n": 12, "seed": 1}',
+                    '{"request_id": "b", "kind": "tree",'
+                    ' "degrees": [3, 2, 2, 1, 1, 1, 2]}',
+                ]
+            )
+        )
+        assert main(["batch", str(path)]) == 0
+        rows = [json.loads(line) for line in capsys.readouterr().out.splitlines()]
+        assert [r["request_id"] for r in rows] == ["a", "b"]
+        assert all(r["verdict"] == "REALIZED" for r in rows)
+
+    def test_batch_stdin_with_error_exits_nonzero(self, capsys, monkeypatch):
+        import io
+        import json
+        import sys as _sys
+
+        monkeypatch.setattr(
+            _sys, "stdin",
+            io.StringIO('{"kind": "wat", "degrees": [1, 1]}\n'),
+        )
+        assert main(["batch", "-"]) == 1
+        rows = [json.loads(line) for line in capsys.readouterr().out.splitlines()]
+        assert rows[0]["verdict"] == "ERROR"
+
+    def test_batch_missing_file(self):
+        with pytest.raises(SystemExit, match="cannot read batch file"):
+            main(["batch", "/nonexistent/requests.jsonl"])
+
+    def test_serve_stdin_stdout(self, capsys, monkeypatch):
+        import io
+        import json
+        import sys as _sys
+
+        monkeypatch.setattr(
+            _sys, "stdin",
+            io.StringIO(
+                '{"request_id": "s1", "kind": "connectivity",'
+                ' "scenario": "rho_uniform", "n": 10}\n'
+            ),
+        )
+        assert main(["serve"]) == 0
+        rows = [json.loads(line) for line in capsys.readouterr().out.splitlines()]
+        assert rows[0]["request_id"] == "s1"
+        assert rows[0]["verdict"] == "REALIZED"
+
+    def test_profile_accepts_registry_scenarios(self, capsys):
+        assert main(["profile", "tree_random", "--n", "12", "--top", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "profile: tree_random" in out
+
+    def test_profile_legacy_aliases(self, capsys):
+        assert main(["profile", "realize", "--n", "12", "--top", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "profile: realize" in out
