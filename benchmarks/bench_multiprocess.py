@@ -1,0 +1,310 @@
+"""X-MP — the multiprocess execution layer: sharded engine + process drain.
+
+Two measurements, recorded to ``BENCH_multiprocess.json``:
+
+**Sharded engine** (``engine_rows``): one full end-to-end protocol run
+(Theorem 3 distributed mergesort, full fidelity — the round-loop-bound
+workload) per engine configuration — the in-process ``fast`` engine and
+the multiprocess ``sharded`` engine at each of ``SHARD_COUNTS`` — on
+fresh identically-seeded networks.  RoundStats are asserted bit-identical
+across all configurations (the differential suites are the real gate;
+this re-checks at benchmark scale).  The per-config ``rounds_per_sec``
+is the honest cost of the barrier-exchange architecture: every simulated
+message is pickled across a process boundary at least twice, so on
+few-core hosts the sharded engine *loses* to ``fast`` — the recorded
+``speedup_vs_fast`` states that plainly rather than hiding it.
+
+**Batch drain** (``drain_rows``): the service benchmark's mixed
+60-request batch (five kinds, n ∈ {64, 256}) drained with the response
+cache disabled — every request actually executes — through the threaded
+drain vs the process drain, both with ``DRAIN_WORKERS`` workers and warm
+pools (per-worker pools in the process drain).  Responses are asserted
+field-identical between modes.  Request handling is pure Python, so the
+threaded drain is GIL-serialized while the process drain runs one
+request per core: on a >= ``DRAIN_WORKERS``-core host the target ratio
+is ``TARGET_SPEEDUP`` (2x).  Hosts with fewer cores cannot express the
+parallelism — there the gate degrades to an *overhead bound*
+(``floor_for_cores``): the process drain must stay within IPC-tax
+distance of the threaded drain.  The recorded JSON carries the measured
+ratio, the host core count, and both targets, so a record produced on a
+small container is still an honest, regression-guardable measurement.
+
+Timing is wall-clock (``time.perf_counter``), not process CPU time —
+child-process work is invisible to the parent's CPU clock, and wall
+time is the honest metric for a parallel drain.
+"""
+
+from __future__ import annotations
+
+import gc
+import os
+import time
+
+from common import Experiment
+from repro.ncc.config import NCCConfig
+from repro.ncc.network import Network
+from repro.primitives.protocol import run_protocol
+from repro.primitives.sorting import distributed_sort
+from repro.service import BatchExecutor, NetworkPool, default_registry
+
+from bench_service_throughput import BATCH_SIZE, DISTINCT, build_batch
+
+#: Drain acceptance on hosts with >= DRAIN_WORKERS usable cores.
+TARGET_SPEEDUP = 2.0
+
+#: Worker count for both drains (the acceptance configuration).
+DRAIN_WORKERS = 4
+
+#: Shard counts the engine benchmark sweeps.
+SHARD_COUNTS = (2, 4)
+
+#: Sorting workload scale for the engine comparison.
+ENGINE_N = 128
+ENGINE_SEED = 11
+
+REPS = 2
+
+
+def usable_cores() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def floor_for_cores(cores: int) -> float:
+    """The drain gate this host can honestly express.
+
+    >= DRAIN_WORKERS cores: the full 2x parallel-speedup target.  Two to
+    three cores: proportionally reduced.  One core: no parallelism
+    exists — bound the process drain's overhead instead (it must deliver
+    at least 0.6x the threaded drain's throughput, i.e. the IPC tax may
+    not eat more than ~40%).
+    """
+    if cores >= DRAIN_WORKERS:
+        return TARGET_SPEEDUP
+    if cores >= 2:
+        return min(TARGET_SPEEDUP, 0.65 * cores)
+    return 0.6
+
+
+def _wall(run):
+    """Best wall-clock seconds over REPS runs of ``run()`` (GC paused).
+
+    Returns (best_seconds, last_result).
+    """
+    best = float("inf")
+    result = None
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        for _ in range(REPS):
+            started = time.perf_counter()
+            result = run()
+            elapsed = time.perf_counter() - started
+            best = min(best, elapsed)
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+    return best, result
+
+
+# ---------------------------------------------------------------------- #
+# Part 1 — sharded engine vs fast engine                                 #
+# ---------------------------------------------------------------------- #
+
+
+def _sorting_run(config: NCCConfig):
+    import random
+
+    net = Network(ENGINE_N, config)
+    try:
+        rng = random.Random(ENGINE_SEED)
+        table = {v: rng.randrange(ENGINE_N) for v in net.node_ids}
+        _, order = run_protocol(net, distributed_sort(net, lambda v: table[v]))
+        return net.stats(), tuple(order)
+    finally:
+        net.close()
+
+
+def measure_engines():
+    configs = [("fast", 0, NCCConfig(seed=ENGINE_SEED, engine="fast"))]
+    for shards in SHARD_COUNTS:
+        configs.append(
+            (
+                f"s{shards}",  # row name: sorting_engine_s<k> (sharded)
+                shards,
+                NCCConfig(seed=ENGINE_SEED, engine="sharded", engine_shards=shards),
+            )
+        )
+    rows = []
+    canonical = None
+    fast_rps = None
+    for label, shards, config in configs:
+        elapsed, (stats, order) = _wall(lambda config=config: _sorting_run(config))
+        if canonical is None:
+            canonical = (stats, order)
+        else:
+            assert (stats, order) == canonical, (
+                f"engine {label} diverged from fast on the benchmark workload"
+            )
+        rounds_per_sec = round(stats.simulated_rounds / elapsed, 1)
+        if label == "fast":
+            fast_rps = rounds_per_sec
+        rows.append(
+            {
+                "workload": f"sorting_engine_{label}",
+                "n": ENGINE_N,
+                "shards": shards,
+                "rounds": stats.rounds,
+                "simulated_rounds": stats.simulated_rounds,
+                "messages": stats.messages,
+                "elapsed_sec": round(elapsed, 4),
+                "rounds_per_sec": rounds_per_sec,
+                "speedup_vs_fast": round(rounds_per_sec / fast_rps, 3),
+            }
+        )
+    return rows
+
+
+# ---------------------------------------------------------------------- #
+# Part 2 — process drain vs threaded drain (cold: cache disabled)        #
+# ---------------------------------------------------------------------- #
+
+
+def _drain_executor(mode: str):
+    return BatchExecutor(
+        pool=NetworkPool(),
+        registry=default_registry(),
+        cache_responses=False,  # cold: all 60 requests actually execute
+        mode=mode,
+        workers=DRAIN_WORKERS,
+    )
+
+
+def measure_drains():
+    batch = build_batch()
+    rows = []
+    canonical = None
+    throughput = {}
+    for mode in ("threads", "processes"):
+        def run(mode=mode):
+            executor = _drain_executor(mode)
+            try:
+                return executor.run(list(batch)), executor.stats()
+            finally:
+                executor.close()
+
+        elapsed, (responses, stats) = _wall(run)
+        fingerprints = [r.fingerprint() for r in responses]
+        assert all(r.error is None for r in responses)
+        if canonical is None:
+            canonical = fingerprints
+        else:
+            assert fingerprints == canonical, (
+                "process drain changed a response — the drain must be "
+                "answer-preserving"
+            )
+        requests_per_sec = round(len(batch) / elapsed, 2)
+        throughput[mode] = requests_per_sec
+        rows.append(
+            {
+                "workload": f"drain_{mode}",
+                "n": 0,  # mixed batch
+                "requests": len(batch),
+                "distinct": len(DISTINCT),
+                "workers": DRAIN_WORKERS,
+                "rounds": sum(r.rounds for r in responses),
+                "messages": sum(r.messages for r in responses),
+                "elapsed_sec": round(elapsed, 4),
+                "requests_per_sec": requests_per_sec,
+                "worker_crashes": stats["worker_crashes"],
+            }
+        )
+    speedup = round(throughput["processes"] / throughput["threads"], 3)
+    return rows, speedup
+
+
+_results_cache = {}
+
+
+def bench_results():
+    """Engine + drain rows (the BENCH_multiprocess.json payload); cached."""
+    if "rows" not in _results_cache:
+        engine_rows = measure_engines()
+        drain_rows, speedup = measure_drains()
+        _results_cache["rows"] = engine_rows + drain_rows
+        _results_cache["speedup"] = speedup
+    return _results_cache["rows"]
+
+
+def drain_speedup() -> float:
+    bench_results()
+    return _results_cache["speedup"]
+
+
+def experiment() -> Experiment:
+    results = bench_results()
+    speedup = drain_speedup()
+    cores = usable_cores()
+    floor = floor_for_cores(cores)
+    rows = []
+    for r in results:
+        rows.append(
+            [
+                r["workload"],
+                r["n"] or "mixed",
+                r.get("shards", r.get("workers", "")),
+                r["rounds"],
+                r["messages"],
+                f"{r['elapsed_sec']:.3f}s",
+                r.get("rounds_per_sec") or r.get("requests_per_sec"),
+            ]
+        )
+    return Experiment(
+        exp_id="X-MP",
+        claim="multiprocess layer: sharded barrier-exchange engine is "
+        "bit-identical; process drain multiplies cold batch throughput "
+        "by core count",
+        headers=["workload", "n", "shards/wk", "rounds", "messages",
+                 "best time", "per-sec"],
+        rows=rows,
+        shape_holds=speedup >= floor,
+        notes=(
+            f"Engine: thm03 sorting n={ENGINE_N} end-to-end, RoundStats "
+            "asserted bit-identical across fast and sharded "
+            f"{SHARD_COUNTS} (each simulated message crosses a process "
+            "boundary twice, so sharding trades throughput for the "
+            "barrier-exchange architecture on few-core hosts).  Drain: "
+            f"the mixed {BATCH_SIZE}-request service batch, response "
+            f"cache disabled, {DRAIN_WORKERS} workers; responses "
+            "asserted field-identical between threaded and process "
+            f"drains.  Measured process/threads ratio {speedup:.2f}x on "
+            f"{cores} usable core(s); gate {floor:.2f}x (the full "
+            f"{TARGET_SPEEDUP}x parallel target applies on >= "
+            f"{DRAIN_WORKERS} cores — fewer cores cannot express it, so "
+            "the gate becomes an IPC-overhead bound).  Wall-clock "
+            "timing: child CPU is invisible to the parent's CPU clock."
+        ),
+    )
+
+
+def test_multiprocess_smoke(benchmark):
+    """Smoke-scale: tiny drain through both modes, answers preserved."""
+    batch = build_batch()[:6]
+    threaded = _drain_executor("threads")
+    try:
+        expected = [r.fingerprint() for r in threaded.run(list(batch))]
+    finally:
+        threaded.close()
+    processes = _drain_executor("processes")
+
+    def run():
+        return processes.run(list(batch))
+
+    try:
+        benchmark.pedantic(run, rounds=1, iterations=1)
+        got = [r.fingerprint() for r in processes.run(list(batch))]
+    finally:
+        processes.close()
+    assert got == expected

@@ -15,16 +15,19 @@ writing a script:
 * ``scenarios`` — list the named workload scenarios of the service
   registry;
 * ``batch requests.jsonl`` (or ``-`` for stdin) — drain a JSONL request
-  batch through the warm-pool executor, one JSON response per line;
+  batch through the warm-pool executor, one JSON response per line
+  (``--mode processes --workers N`` drains across worker processes,
+  each with its own warm network pool);
 * ``serve`` — long-lived JSONL service on stdin/stdout;
 * ``profile sorting --n 256 [--top 25] [--sort-by cumulative]`` — run a
   registry scenario under ``cProfile`` and print the hottest functions,
   so perf work starts from data instead of guesses.
 
-The protocol-running commands accept ``--engine {fast,reference}`` to
-select the round-execution engine (``fast`` is the default; both are
-bit-identical, see ``repro/ncc/engine.py``).  Every command prints the
-verdict, edge count, and round/message costs.
+The protocol-running commands accept ``--engine {fast,reference,sharded}``
+(plus ``--shards N`` for the multiprocess sharded engine) to select the
+round-execution engine (``fast`` is the default; all are bit-identical,
+see ``repro/ncc/engine.py`` and ``repro/ncc/sharded.py``).  Every
+command prints the verdict, edge count, and round/message costs.
 """
 
 from __future__ import annotations
@@ -54,6 +57,7 @@ def _make_net(n: int, args, ncc1: bool = False) -> Network:
     config = NCCConfig(
         seed=args.seed,
         engine=getattr(args, "engine", "fast"),
+        engine_shards=getattr(args, "shards", 2),
         variant=Variant.NCC1 if ncc1 else Variant.NCC0,
         random_ids=not ncc1,
     )
@@ -211,7 +215,10 @@ def cmd_batch(args) -> int:
         except OSError as exc:
             raise SystemExit(f"cannot read batch file: {exc}")
     executor = _make_executor(args)
-    responses = run_batch_lines(lines, executor)
+    try:
+        responses = run_batch_lines(lines, executor)
+    finally:
+        executor.close()
     errors = 0
     for response in responses:
         if response.verdict == "ERROR":
@@ -219,12 +226,20 @@ def cmd_batch(args) -> int:
         print(json.dumps(response.to_dict()))
     stats = executor.stats()
     pool = stats.get("pool", {})
-    print(
-        f"batch: {len(responses)} response(s), {errors} error(s); "
-        f"cache hits {stats['response_cache_hits']}, "
-        f"pool hits {pool.get('pool_hits', 0)}/{pool.get('leases', 0)}",
-        file=sys.stderr,
+    summary = (
+        f"batch[{stats['mode']}]: {len(responses)} response(s), "
+        f"{errors} error(s); cache hits {stats['response_cache_hits']}, "
+        f"coalesced {stats['coalesced_hits']}"
     )
+    if stats["mode"] == "processes":
+        # Worker processes own their pools; the parent pool is unused.
+        if stats["worker_crashes"]:
+            summary += f", worker crashes {stats['worker_crashes']}"
+    else:
+        summary += (
+            f", pool hits {pool.get('pool_hits', 0)}/{pool.get('leases', 0)}"
+        )
+    print(summary, file=sys.stderr)
     return 1 if errors else 0
 
 
@@ -301,11 +316,20 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     def add_engine(p) -> None:
+        from repro.ncc.engine import engine_names
+
         p.add_argument(
             "--engine",
-            choices=("fast", "reference"),
+            choices=engine_names(),
             default="fast",
-            help="round-execution engine (bit-identical; fast is the default)",
+            help="round-execution engine (bit-identical; fast is the default; "
+            "sharded runs the round loop across worker processes)",
+        )
+        p.add_argument(
+            "--shards",
+            type=int,
+            default=2,
+            help="worker-process count for --engine sharded (default 2)",
         )
 
     p = sub.add_parser("info", help="show NCC model parameters")
@@ -348,7 +372,13 @@ def build_parser() -> argparse.ArgumentParser:
         "batch", help="drain a JSONL request batch (file path or '-' for stdin)"
     )
     p.add_argument("path", help="JSONL file with one request object per line")
-    p.add_argument("--mode", choices=("sequential", "threads"), default="sequential")
+    p.add_argument(
+        "--mode",
+        choices=("sequential", "threads", "processes"),
+        default="sequential",
+        help="drain strategy (processes = one warm NetworkPool per worker "
+        "process, true parallel execution)",
+    )
     p.add_argument("--workers", type=int, default=4)
     p.add_argument("--no-pool", action="store_true", help="fresh network per request")
     p.add_argument("--no-cache", action="store_true", help="disable response cache")

@@ -76,10 +76,15 @@ class NCCConfig:
         Receive-cap behaviour, see :class:`EnforcementMode`.
     engine:
         Round-execution engine: ``"fast"`` (default — batched delivery
-        with memoized size accounting and amortized cap checks) or
-        ``"reference"`` (the per-message executable specification).
-        Both enforce identical semantics and report bit-identical
+        with memoized size accounting and amortized cap checks),
+        ``"reference"`` (the per-message executable specification), or
+        ``"sharded"`` (nodes partitioned across worker processes with a
+        barrier exchange per round; see :mod:`repro.ncc.sharded`).
+        All enforce identical semantics and report bit-identical
         metrics; see :mod:`repro.ncc.engine`.
+    engine_shards:
+        Worker-process count for ``engine="sharded"`` (clamped to
+        ``[1, n]``; ignored by the in-process engines).
     id_space_exponent:
         IDs are drawn from ``[1, n**id_space_exponent]`` (the paper's
         ``[1, n^c]``).
@@ -99,6 +104,7 @@ class NCCConfig:
     word_value_bits_factor: float = 2.0
     enforcement: EnforcementMode = EnforcementMode.STRICT
     engine: str = "fast"
+    engine_shards: int = 2
     id_space_exponent: int = 3
     random_ids: bool = True
     seed: int = 0

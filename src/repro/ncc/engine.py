@@ -442,13 +442,36 @@ ENGINES: Dict[str, Type] = {
     FastEngine.name: FastEngine,
 }
 
+#: Engines resolved on first use (import cycle: they import this module
+#: for the reference fallback).  ``"sharded"`` is the multiprocess
+#: barrier-exchange engine (:mod:`repro.ncc.sharded`).
+_LAZY_ENGINES = {"sharded": ("repro.ncc.sharded", "ShardedEngine")}
+
+
+def engine_names() -> Tuple[str, ...]:
+    """All registered engine names (the ``NCCConfig.engine`` domain)."""
+    return tuple(sorted(set(ENGINES) | set(_LAZY_ENGINES)))
+
 
 def make_engine(name: str, net: "Network"):
-    """Instantiate the engine ``name`` ("fast" or "reference") for ``net``."""
-    try:
-        engine_cls = ENGINES[name]
-    except KeyError:
-        raise ValueError(
-            f"unknown NCC engine {name!r}; expected one of {sorted(ENGINES)}"
-        ) from None
+    """Instantiate the engine ``name`` ("fast", "reference" or "sharded").
+
+    Beyond ``deliver``/``reset``, engines may implement two optional
+    hooks the :class:`~repro.ncc.network.Network` dispatches when
+    present: ``note_grant(u, v)`` (out-of-band knowledge grants, so
+    replicated state can follow) and ``close()`` (release external
+    resources such as worker processes).
+    """
+    engine_cls = ENGINES.get(name)
+    if engine_cls is None:
+        lazy = _LAZY_ENGINES.get(name)
+        if lazy is None:
+            raise ValueError(
+                f"unknown NCC engine {name!r}; expected one of "
+                f"{list(engine_names())}"
+            )
+        import importlib
+
+        engine_cls = getattr(importlib.import_module(lazy[0]), lazy[1])
+        ENGINES[name] = engine_cls
     return engine_cls(net)

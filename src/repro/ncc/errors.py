@@ -68,6 +68,23 @@ class ProtocolError(NCCError):
     """A protocol-internal invariant was violated (a bug, not a model issue)."""
 
 
+class RoundBudgetExceeded(NCCError):
+    """A run crossed its caller-imposed round budget.
+
+    Not a model violation: the budget is a *service* isolation knob
+    (:meth:`~repro.ncc.network.Network.set_round_budget`, driven by
+    ``RealizationRequest.max_rounds``) so one tenant's pathological
+    request cannot monopolize an executor worker.
+    """
+
+    def __init__(self, budget: int, rounds: int) -> None:
+        super().__init__(
+            f"round budget exceeded: {rounds} rounds elapsed (budget {budget})"
+        )
+        self.budget = budget
+        self.rounds = rounds
+
+
 class UnrealizableError(NCCError):
     """Raised by sequential oracles when an input admits no realization.
 

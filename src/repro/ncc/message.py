@@ -42,6 +42,34 @@ def _scalar_words(value: Any, word_bits: int) -> int:
     )
 
 
+def scalar_words_cached(value, word_bits, int_cache, scalar_cache) -> int:
+    """Memoized :func:`_scalar_words` dispatch shared by the engines.
+
+    Ints get their own cache (keyed by value, the hot case); other types
+    go through a ``(type, value)`` key because equal-comparing scalars of
+    different types (``2**60`` vs ``2.0**60``) can occupy different word
+    counts.  ``word_bits`` must be fixed for the caches' lifetime.
+    :class:`~repro.ncc.engine.FastEngine` additionally inlines this
+    dispatch in its hottest loops (see its lockstep comments); the
+    sharded engine's workers call it directly.
+    """
+    cls = value.__class__
+    if cls is int:
+        words = int_cache.get(value)
+        if words is None:
+            words = _scalar_words(value, word_bits)
+            int_cache[value] = words
+        return words
+    if cls is float or cls is bool or value is None:
+        return 1
+    key = (cls, value)
+    words = scalar_cache.get(key)
+    if words is None:
+        words = _scalar_words(value, word_bits)
+        scalar_cache[key] = words
+    return words
+
+
 @dataclass(frozen=True)
 class Message:
     """One NCC message.

@@ -37,6 +37,7 @@ from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tupl
 
 from repro.ncc.config import DEFAULT_CONFIG, NCCConfig, Variant
 from repro.ncc.engine import make_engine
+from repro.ncc.errors import RoundBudgetExceeded
 from repro.ncc.ids import IdSpace
 from repro.ncc.knowledge import KnowledgeGraph, knowledge_for_variant
 from repro.ncc.message import Message
@@ -150,8 +151,15 @@ class Network:
         # Deferred-delivery queues (EnforcementMode.DEFER).
         self._deferred: Dict[int, deque] = defaultdict(deque)
 
-        # Round-execution engine (config.engine: "fast" | "reference").
+        # Caller-imposed round ceiling (service multi-tenant isolation);
+        # None = unlimited.  Checked in deliver()/charge().
+        self.round_budget: Optional[int] = None
+
+        # Round-execution engine (config.engine: "fast" | "reference" |
+        # "sharded").  Engines with replicated state expose a note_grant
+        # hook so out-of-band knowledge grants reach their replicas.
         self.engine = make_engine(config.engine, self)
+        self._grant_hook = getattr(self.engine, "note_grant", None)
 
     # ------------------------------------------------------------------ #
     # Warm reuse (the service pool's lease API)                          #
@@ -167,7 +175,7 @@ class Network:
         (rounds, messages, :class:`~repro.ncc.metrics.RoundStats`,
         realization result) to the same workload on a freshly constructed
         ``Network`` with the same parameters — the property
-        ``tests/test_service_pool.py`` enforces for both engines, and the
+        ``tests/test_service_pool.py`` enforces for every engine, and the
         contract :class:`~repro.service.pool.NetworkPool` leases rely on.
 
         IDs are part of the construction parameters (a seeded injection),
@@ -196,8 +204,20 @@ class Network:
         self._phase_stack = []
         self.tracers = []
         self._deferred = defaultdict(deque)
+        self.round_budget = None
         self.engine.reset()
         return self
+
+    def close(self) -> None:
+        """Release engine-held external resources (worker processes).
+
+        A no-op for the in-process engines; the sharded engine stops its
+        worker processes.  The network remains usable afterwards —
+        sharded workers respawn lazily on the next delivering round.
+        """
+        close = getattr(self.engine, "close", None)
+        if close is not None:
+            close()
 
     # ------------------------------------------------------------------ #
     # Topology / identity helpers                                        #
@@ -224,6 +244,8 @@ class Network:
         """
         if v != u:
             self.known[u].add(v)
+            if self._grant_hook is not None:
+                self._grant_hook(u, v)
 
     # ------------------------------------------------------------------ #
     # The round engine                                                   #
@@ -240,10 +262,14 @@ class Network:
         advances the round counter, and returns the per-node inboxes.
         Deferred messages from previous rounds (defer mode) are delivered
         first, consuming receive budget.  Execution is delegated to the
-        configured engine (:mod:`repro.ncc.engine`); both engines enforce
+        configured engine (:mod:`repro.ncc.engine`); all engines enforce
         the same semantics and meter identically.
         """
-        return self.engine.deliver(plan)
+        inboxes = self.engine.deliver(plan)
+        budget = self.round_budget
+        if budget is not None and self.rounds > budget:
+            raise RoundBudgetExceeded(budget, self.rounds)
+        return inboxes
 
     def step(self, sends: Iterable[Tuple[int, int, Message]]) -> Inboxes:
         """Convenience: build a plan from ``(src, dst, msg)`` and deliver."""
@@ -272,12 +298,27 @@ class Network:
     # Charged rounds and phases                                          #
     # ------------------------------------------------------------------ #
 
+    def set_round_budget(self, budget: Optional[int]) -> None:
+        """Cap total rounds (simulated + charged) for this run.
+
+        Crossing the cap raises
+        :class:`~repro.ncc.errors.RoundBudgetExceeded` from the
+        offending :meth:`deliver`/:meth:`charge`.  Cleared by
+        :meth:`reset`, so pooled leases never inherit a budget.
+        """
+        if budget is not None and budget < 1:
+            raise ValueError(f"round budget must be >= 1, got {budget}")
+        self.round_budget = budget
+
     def charge(self, rounds: int, reason: str = "") -> None:
         """Account ``rounds`` rounds for a charged-mode primitive."""
         if rounds < 0:
             raise ValueError(f"cannot charge negative rounds ({rounds})")
         self.rounds += rounds
         self.charged_rounds += rounds
+        budget = self.round_budget
+        if budget is not None and self.rounds > budget:
+            raise RoundBudgetExceeded(budget, self.rounds)
 
     @contextmanager
     def phase(self, label: str):

@@ -20,6 +20,7 @@ from dataclasses import dataclass, replace
 from typing import Any, Dict, Mapping, Optional, Tuple
 
 from repro.ncc.config import NCCConfig, Variant
+from repro.ncc.engine import engine_names
 
 #: The workload kinds the service accepts, mapping 1:1 onto the paper's
 #: realizers (Theorems 11/12/13, 14/16, 17/18, and the Õ(1) approximate
@@ -92,6 +93,8 @@ class RealizationRequest:
     model: str = "ncc0"  # connectivity only: "ncc0" | "ncc1"
     repairs: int = 0  # approximate only
     explicit_envelope: bool = False  # degree_envelope only
+    max_rounds: Optional[int] = None  # per-request round budget (isolation)
+    shards: int = 0  # engine="sharded" only; 0 = engine default
 
     def __post_init__(self) -> None:
         if self.degrees is not None and not isinstance(self.degrees, tuple):
@@ -179,8 +182,20 @@ class RealizationRequest:
                 raise ServiceError(
                     f"n={self.n} disagrees with len(degrees)={len(self.degrees)}"
                 )
-        if self.engine not in ("fast", "reference"):
+        if self.engine not in engine_names():
             raise ServiceError(f"unknown engine {self.engine!r}")
+        if self.max_rounds is not None and (
+            not isinstance(self.max_rounds, int)
+            or isinstance(self.max_rounds, bool)
+            or self.max_rounds < 1
+        ):
+            raise ServiceError(
+                f"'max_rounds' must be a positive integer, got {self.max_rounds!r}"
+            )
+        if not isinstance(self.shards, int) or isinstance(self.shards, bool):
+            raise ServiceError(f"'shards' must be an integer, got {self.shards!r}")
+        if self.shards < 0:
+            raise ServiceError("'shards' must be >= 0 (0 = engine default)")
         if self.sort_fidelity not in ("full", "charged"):
             raise ServiceError(f"unknown sort_fidelity {self.sort_fidelity!r}")
         if self.kind == "tree" and self.tree_variant not in _TREE_VARIANTS:
@@ -202,11 +217,15 @@ class RealizationRequest:
     def config(self) -> NCCConfig:
         """The :class:`NCCConfig` (and pool key half) for this request."""
         ncc1 = self.kind == "connectivity" and self.model == "ncc1"
+        kwargs = {}
+        if self.engine == "sharded" and self.shards > 0:
+            kwargs["engine_shards"] = self.shards
         return NCCConfig(
             seed=self.seed,
             engine=self.engine,
             variant=Variant.NCC1 if ncc1 else Variant.NCC0,
             random_ids=not ncc1,
+            **kwargs,
         )
 
     def cache_key(self) -> "RealizationRequest":
@@ -228,6 +247,10 @@ class RealizationRequest:
             neutral["explicit_envelope"] = False
         if self.scenario is None:
             neutral["params"] = ()
+        if self.engine != "sharded":
+            # Shard count only reaches the simulation via the sharded
+            # engine; a stray value must not split the cache.
+            neutral["shards"] = 0
         return replace(self, **neutral)
 
     # ---------------------------------------------------------------- #
@@ -288,6 +311,8 @@ class RealizationRequest:
             ("model", "ncc0"),
             ("repairs", 0),
             ("explicit_envelope", False),
+            ("max_rounds", None),
+            ("shards", 0),
         ):
             value = getattr(self, attr)
             if value != default:
@@ -303,9 +328,14 @@ class RealizationResponse:
     ``UNREALIZABLE`` (the distributed announcement), ``APPROXIMATED``
     (the approximate realizer always produces an overlay, with its error
     in ``detail``), or ``ERROR`` (the request was malformed or the run
-    raised).  ``cached`` marks responses served from the executor's
-    response cache; by determinism they are field-identical to a fresh
-    run (``fingerprint()`` is the comparison the tests use).
+    raised).  ``error_code`` types machine-actionable failures
+    (``"BUDGET_EXCEEDED"`` when a per-request ``max_rounds`` budget
+    fired, ``"WORKER_CRASHED"`` when a process-drain worker died);
+    free-form failures leave it ``None``.  ``cached`` marks responses
+    served from the executor's response cache (or coalesced onto a
+    concurrent identical execution); by determinism they are
+    field-identical to a fresh run (``fingerprint()`` is the comparison
+    the tests use).
     """
 
     request_id: str
@@ -322,6 +352,7 @@ class RealizationResponse:
     cached: bool = False
     elapsed_sec: float = 0.0
     error: Optional[str] = None
+    error_code: Optional[str] = None
 
     def fingerprint(self) -> Tuple:
         """Everything except identity and measurement volatiles."""
@@ -337,6 +368,7 @@ class RealizationResponse:
             self.words,
             self.detail,
             self.error,
+            self.error_code,
         )
 
     def to_dict(self) -> Dict[str, Any]:
@@ -357,6 +389,8 @@ class RealizationResponse:
         }
         if self.error is not None:
             out["error"] = self.error
+        if self.error_code is not None:
+            out["error_code"] = self.error_code
         return out
 
     @classmethod
@@ -366,12 +400,15 @@ class RealizationResponse:
         return cls(**data)
 
 
-def error_response(request_id: str, kind: str, message: str) -> RealizationResponse:
-    """The uniform failure envelope."""
+def error_response(
+    request_id: str, kind: str, message: str, code: Optional[str] = None
+) -> RealizationResponse:
+    """The uniform failure envelope (``code`` types actionable failures)."""
     return RealizationResponse(
         request_id=request_id,
         kind=kind,
         ok=False,
         verdict="ERROR",
         error=message,
+        error_code=code,
     )

@@ -2,7 +2,7 @@
 
 ``run_request`` is the stateless core — one request, one network, one
 realizer dispatch, one response.  :class:`BatchExecutor` wraps it with
-the three warm-path layers a long-lived service wants:
+the warm-path layers a long-lived service wants:
 
 * a :class:`~repro.service.pool.NetworkPool` so requests lease warm
   networks instead of constructing them;
@@ -11,15 +11,37 @@ the three warm-path layers a long-lived service wants:
 * a response cache: the simulation is deterministic in the request's
   ``cache_key()`` (everything but ``request_id``), so repeated requests
   — the shape of real service traffic — are answered without re-running
-  the realizer.  Cached responses are field-identical to fresh ones
+  the realizer.  The cache is LRU-bounded (``max_cached_responses``)
+  with hit/eviction counters in :meth:`BatchExecutor.stats`.  Cached
+  responses are field-identical to fresh ones
   (``RealizationResponse.fingerprint()``; enforced by the tests and the
-  service benchmark) and are marked ``cached=True``.
+  service benchmark) and are marked ``cached=True``;
+* in-flight coalescing: concurrent identical requests (same cache key)
+  wait on one execution instead of all running before the cache
+  populates — single-flight in the threaded drain, batch-level dedup in
+  the process drain.
 
-Two drain modes: ``sequential`` (default) and ``threads`` (a
-``ThreadPoolExecutor`` sharing the pool and caches — request handling is
-pure Python, so threads buy overlap rather than parallel speedup today;
-the mode exists so the multiprocess sharded engine can slot in behind
-the same API).
+Three drain modes:
+
+``sequential`` (default)
+    One request at a time in the calling thread.
+
+``threads``
+    A ``ThreadPoolExecutor`` sharing the pool and caches.  Request
+    handling is pure Python, so threads buy overlap (and coalescing
+    pressure relief), not parallel speedup.
+
+``processes``
+    A ``ProcessPoolExecutor`` of persistent workers, each owning its
+    *own* warm :class:`NetworkPool` and scenario registry — the
+    CPU-bound realizer runs truly in parallel, one core per worker.
+    Results funnel back through the parent's deterministic response
+    cache, so a drained batch is field-identical to the sequential
+    drain.  A worker that dies mid-request (OOM-killed, crashed) fails
+    that request with a typed ``WORKER_CRASHED`` error and the drain
+    recovers on a fresh pool — one bad request cannot wedge the batch.
+    ``benchmarks/bench_multiprocess.py`` records the process-vs-thread
+    drain ratio.
 """
 
 from __future__ import annotations
@@ -27,12 +49,16 @@ from __future__ import annotations
 import dataclasses
 import io
 import json
+import os
 import threading
 import time
-from concurrent.futures import ThreadPoolExecutor
+from collections import OrderedDict
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
+from repro.ncc.errors import RoundBudgetExceeded
 from repro.ncc.network import Network
+from repro.ncc.sharded import fork_context
 from repro.service.api import (
     RealizationRequest,
     RealizationResponse,
@@ -40,9 +66,13 @@ from repro.service.api import (
     error_response,
 )
 from repro.service.pool import NetworkPool
-from repro.service.registry import DEFAULT_REGISTRY, ScenarioRegistry
+from repro.service.registry import (
+    DEFAULT_REGISTRY,
+    ScenarioRegistry,
+    default_registry,
+)
 
-EXECUTOR_MODES = ("sequential", "threads")
+EXECUTOR_MODES = ("sequential", "threads", "processes")
 
 
 def resolve_workload(
@@ -74,7 +104,10 @@ def run_request(
     ``net`` must be pristine and match ``request.size`` /
     ``request.config()`` (the executor guarantees this; direct callers
     are trusted).  Realizer errors become ``verdict="ERROR"`` responses,
-    not exceptions — the batch keeps draining.
+    not exceptions — the batch keeps draining.  A request carrying
+    ``max_rounds`` installs a round budget on ``net``; crossing it
+    yields a typed ``BUDGET_EXCEEDED`` error response (multi-tenant
+    isolation: a pathological request cannot monopolize a worker).
     """
     started = time.perf_counter()
     try:
@@ -82,6 +115,8 @@ def run_request(
             request, registry
         )
         demands = dict(zip(net.node_ids, vector))
+        if request.max_rounds is not None:
+            net.set_round_budget(request.max_rounds)
         detail: Dict[str, Any] = {}
         kind = request.kind
 
@@ -153,6 +188,10 @@ def run_request(
             detail["duplicate_pairs"] = result.duplicate_pairs
         else:  # pragma: no cover - request.validate() forbids this
             raise ServiceError(f"unknown kind {kind!r}")
+    except RoundBudgetExceeded as exc:
+        return error_response(
+            request.request_id, request.kind, str(exc), code="BUDGET_EXCEEDED"
+        )
     except Exception as exc:
         response = error_response(request.request_id, request.kind, str(exc))
         return response
@@ -174,6 +213,61 @@ def run_request(
     )
 
 
+# ---------------------------------------------------------------------- #
+# Process-drain worker side                                              #
+# ---------------------------------------------------------------------- #
+
+#: Per-worker-process state, built once by the pool initializer: a warm
+#: NetworkPool and a private scenario registry (workers never share
+#: in-memory state with the parent — only pickled requests/responses
+#: cross the boundary; the parent's response cache stays authoritative).
+_WORKER_POOL: Optional[NetworkPool] = None
+_WORKER_REGISTRY: Optional[ScenarioRegistry] = None
+_WORKER_CACHE_SCENARIOS = True
+
+#: Test seam: request_ids whose execution hard-kills the worker
+#: (fork-started workers inherit it).  Lets the crash-recovery suite
+#: exercise the BrokenProcessPool path deterministically; empty in
+#: production.
+_CRASH_REQUEST_IDS: frozenset = frozenset()
+
+
+def _process_worker_init(use_pool: bool, cache_scenarios: bool) -> None:
+    """Pool initializer: give this worker its own warm state."""
+    global _WORKER_POOL, _WORKER_REGISTRY, _WORKER_CACHE_SCENARIOS
+    _WORKER_POOL = NetworkPool() if use_pool else None
+    _WORKER_REGISTRY = default_registry()
+    _WORKER_CACHE_SCENARIOS = cache_scenarios
+
+
+def _process_worker_run(request: RealizationRequest) -> RealizationResponse:
+    """One request on this worker's warm state (the in-worker ``handle``)."""
+    if request.request_id in _CRASH_REQUEST_IDS:  # pragma: no cover - test seam
+        os._exit(70)
+    registry = _WORKER_REGISTRY if _WORKER_REGISTRY is not None else DEFAULT_REGISTRY
+    try:
+        workload = resolve_workload(
+            request, registry, use_cache=_WORKER_CACHE_SCENARIOS
+        )
+        n, config = request.size, request.config()
+        if _WORKER_POOL is not None:
+            with _WORKER_POOL.network(n, config) as net:
+                return run_request(request, net, workload, registry)
+        net = Network(n, config)
+        try:
+            return run_request(request, net, workload, registry)
+        finally:
+            net.close()  # sharded engines hold worker processes
+    except ServiceError as exc:
+        return error_response(request.request_id, request.kind, str(exc))
+    except Exception as exc:  # pragma: no cover - defensive envelope
+        return error_response(
+            request.request_id,
+            request.kind,
+            f"internal error: {type(exc).__name__}: {exc}",
+        )
+
+
 class BatchExecutor:
     """Drains request batches/queues over a shared pool and caches.
 
@@ -182,7 +276,9 @@ class BatchExecutor:
     pool:
         The warm-network pool; ``None`` disables pooling (a fresh
         ``Network`` per request — the cold path the service benchmark
-        compares against).
+        compares against).  In ``processes`` mode this toggles the
+        *per-worker* pools (the parent pool is never shared across the
+        process boundary).
     registry:
         Scenario registry for named workloads.
     cache_responses:
@@ -191,15 +287,20 @@ class BatchExecutor:
         workloads with non-request randomness (there are none today).
         Only successful computations are cached — an ``ERROR`` response
         may reflect a transient environment failure, not a property of
-        the request.  The cache is FIFO-bounded by
+        the request.  The cache is LRU-bounded by
         ``max_cached_responses`` so long-lived services stay bounded
-        under diverse traffic.
+        under diverse traffic while popular requests stay resident.
+        Disabling the cache also disables in-flight coalescing (there is
+        no key to coalesce on — and benchmark cold modes rely on every
+        occurrence actually executing).
     cache_scenarios:
         Use the registry's memoized materialization; disable to force
         regeneration per request (the benchmark's cold mode).
     mode / workers:
-        ``"sequential"`` or ``"threads"`` (+ worker count) for
-        :meth:`run`.
+        ``"sequential"``, ``"threads"`` or ``"processes"`` (+ worker
+        count) for :meth:`run`.  The process pool spins up lazily on the
+        first multi-request :meth:`run` and persists, warm, until
+        :meth:`close`.
     """
 
     def __init__(
@@ -223,11 +324,20 @@ class BatchExecutor:
         self.cache_responses = cache_responses
         self.cache_scenarios = cache_scenarios
         self.max_cached_responses = max_cached_responses
-        self._response_cache: Dict[RealizationRequest, RealizationResponse] = {}
-        # One lock guards the cache and the counters (threads mode).
+        self._response_cache: "OrderedDict[RealizationRequest, RealizationResponse]" = (
+            OrderedDict()
+        )
+        # One lock guards the cache, the in-flight table and the counters
+        # (threads mode).
         self._cache_lock = threading.Lock()
+        self._in_flight: Dict[RealizationRequest, threading.Event] = {}
+        self._process_pool: Optional[ProcessPoolExecutor] = None
+        self._process_pool_broken = False
         self.requests_handled = 0
         self.response_cache_hits = 0
+        self.response_cache_evictions = 0
+        self.coalesced_hits = 0
+        self.worker_crashes = 0
         # The registry may be shared (DEFAULT_REGISTRY); snapshot its
         # counters so stats() excludes traffic from before this executor
         # existed.  (Concurrent traffic from *other* executors sharing
@@ -235,63 +345,161 @@ class BatchExecutor:
         # registry when per-executor numbers must be exact.)
         self._registry_hits_base = registry.cache_hits
         self._registry_misses_base = registry.cache_misses
+        self._registry_evictions_base = registry.cache_evictions
+
+    # ---------------------------------------------------------------- #
+    # Lifecycle                                                        #
+    # ---------------------------------------------------------------- #
+
+    def close(self) -> None:
+        """Shut down the persistent process pool (idempotent)."""
+        pool, self._process_pool = self._process_pool, None
+        self._process_pool_broken = False
+        if pool is not None:
+            pool.shutdown(wait=True, cancel_futures=True)
+
+    def __enter__(self) -> "BatchExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _ensure_process_pool(self) -> ProcessPoolExecutor:
+        if self._process_pool is not None and not self._process_pool_broken:
+            return self._process_pool
+        if self._process_pool is not None:  # broken: replace it
+            self._process_pool.shutdown(wait=False, cancel_futures=True)
+        self._process_pool = ProcessPoolExecutor(
+            max_workers=self.workers,
+            mp_context=fork_context(),
+            initializer=_process_worker_init,
+            initargs=(self.pool is not None, self.cache_scenarios),
+        )
+        self._process_pool_broken = False
+        return self._process_pool
+
+    # ---------------------------------------------------------------- #
+    # Response cache (LRU) and coalescing                              #
+    # ---------------------------------------------------------------- #
+
+    def _cache_lookup(
+        self,
+        key: RealizationRequest,
+        request: RealizationRequest,
+        coalesced: bool = False,
+    ) -> Optional[RealizationResponse]:
+        """LRU lookup; on a hit, counts the request as handled and
+        returns the response re-enveloped for ``request``.
+
+        ``coalesced`` hits (the request waited on an identical in-flight
+        execution) are counted separately from direct cache hits — the
+        two counters are disjoint, matching the process drain's
+        accounting.
+        """
+        with self._cache_lock:
+            hit = self._response_cache.get(key)
+            if hit is None:
+                return None
+            self._response_cache.move_to_end(key)
+            self.requests_handled += 1
+            if coalesced:
+                self.coalesced_hits += 1
+            else:
+                self.response_cache_hits += 1
+        return dataclasses.replace(
+            hit,
+            request_id=request.request_id,
+            cached=True,
+            elapsed_sec=0.0,
+        )
+
+    def _cache_store_locked(
+        self, key: RealizationRequest, response: RealizationResponse
+    ) -> None:
+        """Insert under the already-held cache lock (first writer wins —
+        responses for one key are deterministic anyway)."""
+        if key not in self._response_cache:
+            self._response_cache[key] = response
+            while len(self._response_cache) > self.max_cached_responses:
+                self._response_cache.popitem(last=False)
+                self.response_cache_evictions += 1
 
     # ---------------------------------------------------------------- #
     # Single requests                                                  #
     # ---------------------------------------------------------------- #
 
     def handle(self, request: RealizationRequest) -> RealizationResponse:
-        """One request through the full warm path (validate/cache/run)."""
+        """One request through the full warm path: validate, consult the
+        cache, coalesce onto an identical in-flight execution, or run."""
+        key: Optional[RealizationRequest] = None
+        leader = False
         try:
-            request.validate()
-            key = request.cache_key() if self.cache_responses else None
-            if self.cache_responses:
-                with self._cache_lock:
-                    hit = self._response_cache.get(key)
+            try:
+                request.validate()
+                if self.cache_responses:
+                    key = request.cache_key()
+                    hit = self._cache_lookup(key, request)
                     if hit is not None:
-                        self.requests_handled += 1
-                        self.response_cache_hits += 1
-                if hit is not None:
-                    return dataclasses.replace(
-                        hit,
-                        request_id=request.request_id,
-                        cached=True,
-                        elapsed_sec=0.0,
-                    )
-            workload = resolve_workload(
-                request, self.registry, use_cache=self.cache_scenarios
-            )
-            n, config = request.size, request.config()
-            if self.pool is not None:
-                with self.pool.network(n, config) as net:
-                    response = run_request(request, net, workload, self.registry)
-            else:
-                response = run_request(
-                    request, Network(n, config), workload, self.registry
+                        return hit
+                    # Single-flight: exactly one thread computes a key;
+                    # identical concurrent requests wait and then read
+                    # the cache.  A leader that failed (ERROR responses
+                    # are not cached) leaves followers to retry the
+                    # election so the request still gets a real attempt.
+                    while True:
+                        with self._cache_lock:
+                            flight = self._in_flight.get(key)
+                            if flight is None:
+                                self._in_flight[key] = threading.Event()
+                                leader = True
+                                break
+                        flight.wait()
+                        hit = self._cache_lookup(key, request, coalesced=True)
+                        if hit is not None:
+                            return hit
+                workload = resolve_workload(
+                    request, self.registry, use_cache=self.cache_scenarios
                 )
-        except ServiceError as exc:
+                n, config = request.size, request.config()
+                if self.pool is not None:
+                    with self.pool.network(n, config) as net:
+                        response = run_request(request, net, workload, self.registry)
+                else:
+                    net = Network(n, config)
+                    try:
+                        response = run_request(
+                            request, net, workload, self.registry
+                        )
+                    finally:
+                        net.close()  # sharded engines hold worker processes
+            except ServiceError as exc:
+                with self._cache_lock:
+                    self.requests_handled += 1
+                return error_response(request.request_id, request.kind, str(exc))
+            except Exception as exc:  # last resort: a long-lived serve loop
+                # must envelope even unforeseen failures, not die mid-stream.
+                with self._cache_lock:
+                    self.requests_handled += 1
+                return error_response(
+                    request.request_id,
+                    request.kind,
+                    f"internal error: {type(exc).__name__}: {exc}",
+                )
             with self._cache_lock:
                 self.requests_handled += 1
-            return error_response(request.request_id, request.kind, str(exc))
-        except Exception as exc:  # last resort: a long-lived serve loop
-            # must envelope even unforeseen failures, not die mid-stream.
-            with self._cache_lock:
-                self.requests_handled += 1
-            return error_response(
-                request.request_id,
-                request.kind,
-                f"internal error: {type(exc).__name__}: {exc}",
-            )
-        with self._cache_lock:
-            self.requests_handled += 1
-            # Cache successful computations only: an ERROR may reflect a
-            # transient environment failure (e.g. memory pressure), which
-            # must not be replayed forever for a deterministic key.
-            if self.cache_responses and response.verdict != "ERROR":
-                self._response_cache.setdefault(key, response)
-                while len(self._response_cache) > self.max_cached_responses:
-                    self._response_cache.pop(next(iter(self._response_cache)))
-        return response
+                # Cache successful computations only: an ERROR may reflect
+                # a transient environment failure (e.g. memory pressure),
+                # which must not be replayed forever for a deterministic
+                # key.
+                if key is not None and response.verdict != "ERROR":
+                    self._cache_store_locked(key, response)
+            return response
+        finally:
+            if leader:
+                with self._cache_lock:
+                    event = self._in_flight.pop(key, None)
+                if event is not None:
+                    event.set()
 
     def handle_dict(self, payload: Mapping[str, Any]) -> RealizationResponse:
         """Parse + handle one JSON-style request dict."""
@@ -307,19 +515,168 @@ class BatchExecutor:
     def run(self, requests: Iterable[RealizationRequest]) -> List[RealizationResponse]:
         """Drain a batch, preserving request order in the responses."""
         batch = list(requests)
-        if self.mode == "threads" and len(batch) > 1:
-            with ThreadPoolExecutor(max_workers=self.workers) as tpe:
-                return list(tpe.map(self.handle, batch))
+        if len(batch) > 1:
+            if self.mode == "threads":
+                with ThreadPoolExecutor(max_workers=self.workers) as tpe:
+                    return list(tpe.map(self.handle, batch))
+            if self.mode == "processes":
+                return self._run_processes(batch)
         return [self.handle(request) for request in batch]
+
+    def _run_processes(
+        self, batch: List[RealizationRequest]
+    ) -> List[RealizationResponse]:
+        """Drain across the persistent worker processes.
+
+        The parent validates, serves cache hits, and coalesces identical
+        requests (one submission per distinct cache key); only misses
+        cross the process boundary.  Results re-enter the shared
+        response cache, so a process drain is field-identical to a
+        sequential one.
+        """
+        responses: List[Optional[RealizationResponse]] = [None] * len(batch)
+        jobs: List[Tuple[List[int], RealizationRequest]] = []
+        job_keys: List[Optional[RealizationRequest]] = []
+        by_key: Dict[RealizationRequest, int] = {}
+        for i, request in enumerate(batch):
+            try:
+                request.validate()
+            except ServiceError as exc:
+                responses[i] = error_response(
+                    request.request_id, request.kind, str(exc)
+                )
+                with self._cache_lock:
+                    self.requests_handled += 1
+                continue
+            key = request.cache_key() if self.cache_responses else None
+            if key is not None:
+                hit = self._cache_lookup(key, request)
+                if hit is not None:
+                    responses[i] = hit
+                    continue
+                j = by_key.get(key)
+                if j is not None:  # coalesce onto the in-flight submission
+                    jobs[j][0].append(i)
+                    continue
+                by_key[key] = len(jobs)
+            jobs.append(([i], request))
+            job_keys.append(key)
+
+        outcomes = self._submit_process_jobs(jobs)
+
+        retries: List[Tuple[List[int], RealizationRequest]] = []
+        for (indices, request), key, response in zip(jobs, job_keys, outcomes):
+            lead = indices[0]
+            responses[lead] = dataclasses.replace(
+                response, request_id=batch[lead].request_id
+            )
+            if response.verdict == "ERROR":
+                # Mirror the threaded single-flight semantics: an ERROR
+                # is never cached, so coalesced duplicates get their own
+                # real attempt instead of a copy of the failure.
+                with self._cache_lock:
+                    self.requests_handled += 1
+                for i in indices[1:]:
+                    retries.append(([i], batch[i]))
+                continue
+            with self._cache_lock:
+                self.requests_handled += len(indices)
+                self.coalesced_hits += len(indices) - 1
+                if key is not None:
+                    self._cache_store_locked(key, response)
+            for i in indices[1:]:
+                responses[i] = dataclasses.replace(
+                    response,
+                    request_id=batch[i].request_id,
+                    cached=True,
+                    elapsed_sec=0.0,
+                )
+        if retries:
+            for (indices, request), response in zip(
+                retries, self._submit_process_jobs(retries)
+            ):
+                with self._cache_lock:
+                    self.requests_handled += 1
+                    if self.cache_responses and response.verdict != "ERROR":
+                        self._cache_store_locked(request.cache_key(), response)
+                responses[indices[0]] = dataclasses.replace(
+                    response, request_id=request.request_id
+                )
+        return responses  # type: ignore[return-value]
+
+    def _submit_process_jobs(
+        self, jobs: List[Tuple[List[int], RealizationRequest]]
+    ) -> List[RealizationResponse]:
+        """Submit jobs to the worker pool; recover from worker crashes.
+
+        A dead worker breaks the whole ``ProcessPoolExecutor``, failing
+        every in-flight future — so crash recovery retries the failed
+        jobs *serially* on a fresh pool: a deterministic crasher then
+        breaks only its own submission (and earns a typed
+        ``WORKER_CRASHED`` error), while its innocent co-victims
+        complete normally.
+        """
+        if not jobs:
+            return []
+        pool = self._ensure_process_pool()
+        futures = [pool.submit(_process_worker_run, request) for _, request in jobs]
+        outcomes: List[Optional[RealizationResponse]] = [None] * len(jobs)
+        retry: List[int] = []
+        for j, future in enumerate(futures):
+            request = jobs[j][1]
+            try:
+                outcomes[j] = future.result()
+            except BrokenExecutor:
+                self._process_pool_broken = True
+                retry.append(j)
+            except Exception as exc:  # transport/pickling failure
+                outcomes[j] = error_response(
+                    request.request_id,
+                    request.kind,
+                    f"process drain failure: {type(exc).__name__}: {exc}",
+                )
+        if retry:
+            with self._cache_lock:
+                self.worker_crashes += 1
+        for j in retry:
+            request = jobs[j][1]
+            pool = self._ensure_process_pool()
+            try:
+                outcomes[j] = pool.submit(_process_worker_run, request).result()
+            except BrokenExecutor:
+                self._process_pool_broken = True
+                with self._cache_lock:
+                    self.worker_crashes += 1
+                outcomes[j] = error_response(
+                    request.request_id,
+                    request.kind,
+                    "worker process died while executing this request",
+                    code="WORKER_CRASHED",
+                )
+            except Exception as exc:
+                outcomes[j] = error_response(
+                    request.request_id,
+                    request.kind,
+                    f"process drain failure: {type(exc).__name__}: {exc}",
+                )
+        return outcomes  # type: ignore[return-value]
 
     def stats(self) -> Dict[str, Any]:
         out: Dict[str, Any] = {
+            "mode": self.mode,
+            "workers": self.workers,
             "requests_handled": self.requests_handled,
             "response_cache_hits": self.response_cache_hits,
+            "response_cache_evictions": self.response_cache_evictions,
             "response_cache_size": len(self._response_cache),
+            "coalesced_hits": self.coalesced_hits,
+            "worker_crashes": self.worker_crashes,
             "scenario_cache_hits": self.registry.cache_hits - self._registry_hits_base,
             "scenario_cache_misses": (
                 self.registry.cache_misses - self._registry_misses_base
+            ),
+            "scenario_cache_evictions": (
+                self.registry.cache_evictions - self._registry_evictions_base
             ),
         }
         if self.pool is not None:
@@ -395,7 +752,7 @@ def run_batch_lines(
         executor = BatchExecutor(pool=NetworkPool())
     # Parse every line first (parse errors become in-place ERROR
     # responses), then drain the well-formed requests as one batch so
-    # the executor's threaded mode can overlap them.
+    # the executor's threaded/process modes can overlap them.
     responses: List[Optional[RealizationResponse]] = []
     requests: List[RealizationRequest] = []
     for line in lines:

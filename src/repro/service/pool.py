@@ -85,6 +85,7 @@ class NetworkPool:
         releases of the same key race; the rare loser wastes one reset.
         """
         key = (net.n, net.config)
+        discard = False
         with self._lock:
             self.releases += 1
             if (
@@ -95,12 +96,18 @@ class NetworkPool:
                 # A custom-knowledge network is invisible to the key: a
                 # later lease would get the wrong initial state.  Discard.
                 self.discards += 1
-                return
-            stack = self._idle.get(key)
-            if stack is not None and len(stack) >= self.max_idle_per_key:
-                self.discards += 1
-                return
+                discard = True
+            else:
+                stack = self._idle.get(key)
+                if stack is not None and len(stack) >= self.max_idle_per_key:
+                    self.discards += 1
+                    discard = True
+        if discard:
+            # Closing may join worker processes — never under the lock.
+            net.close()
+            return
         net.reset()
+        evicted: List[Network] = []
         with self._lock:
             # Re-resolve the stack: a concurrent eviction may have
             # removed the key's (empty) slot while the lock was dropped
@@ -109,22 +116,30 @@ class NetworkPool:
             stack = self._idle.setdefault(key, [])
             if len(stack) >= self.max_idle_per_key:
                 self.discards += 1
-                return
-            stack.append(net)
-            # Global bound: evict from the longest-idle key (dict order =
-            # key first-use order; empty stacks are removed on eviction).
-            total = sum(len(s) for s in self._idle.values())
-            while total > self.max_total_idle:
-                oldest = next(iter(self._idle))
-                victims = self._idle[oldest]
-                if not victims:  # drained by leases; drop the empty slot
-                    del self._idle[oldest]
-                    continue
-                victims.pop(0)
-                if not victims:
-                    del self._idle[oldest]
-                self.discards += 1
-                total -= 1
+                discard = True
+            else:
+                stack.append(net)
+                # Global bound: evict from the longest-idle key (dict
+                # order = key first-use order; empty stacks are removed
+                # on eviction).
+                total = sum(len(s) for s in self._idle.values())
+                while total > self.max_total_idle:
+                    oldest = next(iter(self._idle))
+                    victims = self._idle[oldest]
+                    if not victims:  # drained by leases; drop empty slot
+                        del self._idle[oldest]
+                        continue
+                    evicted.append(victims.pop(0))
+                    if not victims:
+                        del self._idle[oldest]
+                    self.discards += 1
+                    total -= 1
+        if discard:
+            net.close()
+        # A discarded network may hold external resources (the sharded
+        # engine's worker processes) — release them outside the lock.
+        for victim in evicted:
+            victim.close()
 
     @contextmanager
     def network(self, n: int, config: NCCConfig = DEFAULT_CONFIG) -> Iterator[Network]:
@@ -144,9 +159,12 @@ class NetworkPool:
             return sum(len(stack) for stack in self._idle.values())
 
     def clear(self) -> None:
-        """Drop every idle network (keeps counters)."""
+        """Drop every idle network (keeps counters), closing each one."""
         with self._lock:
+            victims = [net for stack in self._idle.values() for net in stack]
             self._idle.clear()
+        for net in victims:
+            net.close()
 
     def stats(self) -> Dict[str, int]:
         """Counter snapshot for service introspection and benchmarks."""

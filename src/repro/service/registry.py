@@ -25,6 +25,7 @@ instance twice.
 from __future__ import annotations
 
 import threading
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
 
@@ -71,17 +72,21 @@ class Scenario:
 class ScenarioRegistry:
     """Name -> :class:`Scenario`, with memoized materialization.
 
-    The materialization cache is FIFO-bounded by ``max_cached`` so a
-    long-lived service stays bounded under diverse traffic.
+    The materialization cache is LRU-bounded by ``max_cached`` so a
+    long-lived service stays bounded under diverse traffic while the
+    popular scenarios of a skewed mix stay resident (the FIFO policy it
+    replaces evicted by insertion age, dropping hot entries under churn).
+    ``cache_evictions`` counts entries dropped by the bound.
     """
 
     def __init__(self, max_cached: int = 4096) -> None:
         self._scenarios: Dict[str, Scenario] = {}
-        self._cache: Dict[Tuple, Tuple[int, ...]] = {}
+        self._cache: "OrderedDict[Tuple, Tuple[int, ...]]" = OrderedDict()
         self._lock = threading.Lock()
         self.max_cached = max_cached
         self.cache_hits = 0
         self.cache_misses = 0
+        self.cache_evictions = 0
 
     def register(self, scenario: Scenario) -> Scenario:
         if scenario.name in self._scenarios:
@@ -136,6 +141,7 @@ class ScenarioRegistry:
                 hit = self._cache.get(key)
                 if hit is not None:
                     self.cache_hits += 1
+                    self._cache.move_to_end(key)
                     return hit
         with self._lock:
             self.cache_misses += 1
@@ -152,8 +158,10 @@ class ScenarioRegistry:
         if use_cache:
             with self._lock:
                 self._cache[key] = vector
+                self._cache.move_to_end(key)
                 while len(self._cache) > self.max_cached:
-                    self._cache.pop(next(iter(self._cache)))
+                    self._cache.popitem(last=False)
+                    self.cache_evictions += 1
         return vector
 
 

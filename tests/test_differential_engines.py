@@ -1,12 +1,14 @@
-"""Property-based differential tests: fast engine ≡ reference engine.
+"""Property-based differential tests: every engine ≡ reference engine.
 
-The fast engine's contract (see :mod:`repro.ncc.engine`) is *bit-identical
-observable behaviour*: same realizations, same knowledge, same metrics,
-same raised errors.  These tests drive full protocols — degree realization
-on seeded Erdős–Gallai-feasible sequences, tree realization on random
-Prüfer-derived sequences — under both engines and assert the outcomes are
-equal, and additionally that the distributed verdicts agree with the
-sequential ground truth (`sequential/havel_hakimi.py`, `sequential/trees.py`).
+The fast and sharded engines' contract (see :mod:`repro.ncc.engine` and
+:mod:`repro.ncc.sharded`) is *bit-identical observable behaviour*: same
+realizations, same knowledge, same metrics, same raised errors.  These
+tests drive full protocols — degree realization on seeded
+Erdős–Gallai-feasible sequences, tree realization on random
+Prüfer-derived sequences — under all engines (the multiprocess sharded
+engine at two shard counts) and assert the outcomes are equal, and
+additionally that the distributed verdicts agree with the sequential
+ground truth (`sequential/havel_hakimi.py`, `sequential/trees.py`).
 """
 
 from __future__ import annotations
@@ -28,15 +30,29 @@ from repro.sequential import havel_hakimi, is_graphic, is_tree_realizable
 from repro.validation import check_degree_match, check_simple, check_tree
 from repro.workloads import random_graphic_sequence
 
-ENGINES = ("fast", "reference")
+#: Engine configurations under differential test; every label must be
+#: bit-identical to "reference".  The sharded engine runs at two shard
+#: counts (its acceptance gate: the full suite holds for >= 2 counts).
+ENGINE_CONFIGS = {
+    "fast": {"engine": "fast"},
+    "reference": {"engine": "reference"},
+    "sharded2": {"engine": "sharded", "engine_shards": 2},
+    "sharded3": {"engine": "sharded", "engine_shards": 3},
+}
+ENGINES = tuple(ENGINE_CONFIGS)
 
 
 def nets_for(n: int, seed: int, **overrides):
-    """One identically-seeded network per engine."""
+    """One identically-seeded network per engine configuration."""
     return {
-        engine: Network(n, NCCConfig(seed=seed, engine=engine, **overrides))
-        for engine in ENGINES
+        label: Network(n, NCCConfig(seed=seed, **config, **overrides))
+        for label, config in ENGINE_CONFIGS.items()
     }
+
+
+def assert_all_match_reference(outcomes) -> None:
+    for label, outcome in outcomes.items():
+        assert outcome == outcomes["reference"], f"engine {label} diverged"
 
 
 @st.composite
@@ -80,7 +96,8 @@ class TestDegreeRealizationDifferential:
             assert result.realized
             assert check_simple(result.edges)
             assert check_degree_match(result.edges, demands, net.node_ids)
-        assert outcomes["fast"] == outcomes["reference"]
+            net.close()
+        assert_all_match_reference(outcomes)
         # Sequential Havel–Hakimi realizes the same sequence.
         assert havel_hakimi(seq) is not None
 
@@ -105,7 +122,8 @@ class TestDegreeRealizationDifferential:
             )
             assert result.realized == is_graphic(seq)
             assert result.realized == (havel_hakimi(seq) is not None)
-        assert outcomes["fast"] == outcomes["reference"]
+            net.close()
+        assert_all_match_reference(outcomes)
 
 
 class TestTreeRealizationDifferential:
@@ -132,7 +150,8 @@ class TestTreeRealizationDifferential:
             if len(seq) > 1:
                 assert check_tree(result.edges, net.node_ids)
                 assert check_degree_match(result.edges, demands, net.node_ids)
-        assert outcomes["fast"] == outcomes["reference"]
+            net.close()
+        assert_all_match_reference(outcomes)
 
     @settings(max_examples=10, deadline=None)
     @given(seed=st.integers(0, 1_000), n=st.integers(3, 12))
@@ -147,24 +166,23 @@ class TestTreeRealizationDifferential:
             result = realize_tree(net, demands)
             outcomes[engine] = (result.realized, result.stats)
             assert not result.realized
-        assert outcomes["fast"] == outcomes["reference"]
+            net.close()
+        assert_all_match_reference(outcomes)
 
 
 class TestMetricsIdentity:
-    """Fast-engine metrics must be bit-identical on core primitives."""
+    """All engines' metrics must be bit-identical on core primitives."""
 
     @pytest.mark.parametrize("n,seed", [(16, 1), (32, 2), (64, 3)])
     def test_sorting_metrics_identical(self, n, seed):
-        stats = {}
-        orders = {}
+        outcomes = {}
         for engine, net in nets_for(n, seed).items():
             rng = random.Random(seed)
             table = {v: rng.randrange(n) for v in net.node_ids}
             _, order = run_protocol(net, distributed_sort(net, lambda v: table[v]))
-            stats[engine] = net.stats()
-            orders[engine] = order
-        assert stats["fast"] == stats["reference"]
-        assert orders["fast"] == orders["reference"]
+            outcomes[engine] = (net.stats(), order)
+            net.close()
+        assert_all_match_reference(outcomes)
 
     @pytest.mark.parametrize("n,seed", [(16, 4), (48, 5)])
     def test_bbst_metrics_identical(self, n, seed):
@@ -172,7 +190,8 @@ class TestMetricsIdentity:
         for engine, net in nets_for(n, seed).items():
             run_protocol(net, build_bbst(net))
             stats[engine] = net.stats()
-        assert stats["fast"] == stats["reference"]
+            net.close()
+        assert_all_match_reference(stats)
 
     def test_ncc1_variant_identical(self):
         stats = {}
@@ -183,7 +202,8 @@ class TestMetricsIdentity:
             table = {v: rng.randrange(24) for v in net.node_ids}
             run_protocol(net, distributed_sort(net, lambda v: table[v]))
             stats[engine] = net.stats()
-        assert stats["fast"] == stats["reference"]
+            net.close()
+        assert_all_match_reference(stats)
 
     def test_knowledge_sets_identical_after_run(self):
         known = {}
@@ -192,4 +212,5 @@ class TestMetricsIdentity:
             table = {v: rng.randrange(20) for v in net.node_ids}
             run_protocol(net, distributed_sort(net, lambda v: table[v]))
             known[engine] = {v: frozenset(s) for v, s in net.known.items()}
-        assert known["fast"] == known["reference"]
+            net.close()
+        assert_all_match_reference(known)

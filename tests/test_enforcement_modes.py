@@ -22,7 +22,10 @@ from repro.ncc.network import Network
 from repro.primitives.protocol import run_protocol
 from repro.workloads import random_graphic_sequence
 
-ENGINES = ("fast", "reference")
+#: "sharded" runs at the default shard count; the overdriving workloads
+#: below then cover the multiprocess engine's defer-spill bookkeeping
+#: (worker backlogs + the parent's deferred mirror) end to end.
+ENGINES = ("fast", "reference", "sharded")
 NONSTRICT = (EnforcementMode.DEFER, EnforcementMode.UNBOUNDED)
 
 
@@ -94,7 +97,9 @@ class TestOverdrivingWorkloadDifferential:
             if mode is EnforcementMode.DEFER:
                 net.drain()
             outcomes[engine] = observable(net, trace)
-        assert outcomes["fast"] == outcomes["reference"]
+            net.close()
+        for engine in ENGINES:
+            assert outcomes[engine] == outcomes["reference"], engine
         assert outcomes["fast"][1] == 0  # nothing left queued
 
     @pytest.mark.parametrize("engine", ENGINES)

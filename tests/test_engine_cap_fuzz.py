@@ -2,10 +2,12 @@
 
 The NCC budgets (send cap, receive cap, word budget) must fire the same
 exceptions with the same attributes — and leave the same partial state —
-in strict and defer modes on both engines.  These tests build adversarial
+in strict and defer modes on every engine.  These tests build adversarial
 ``RoundPlan``s right at each boundary and one past it, plus a randomized
 plan fuzzer that cross-checks whole outcomes (inboxes, metrics, errors)
-between engines.
+between engines.  For the multiprocess sharded engine this is also the
+violation/fallback torture path: every boundary overshoot exercises the
+reference replay plus worker resync, at two shard counts.
 """
 
 from __future__ import annotations
@@ -27,24 +29,35 @@ from repro.ncc.errors import (
 from repro.ncc.message import msg
 from repro.ncc.network import Network
 
-ENGINES = ("fast", "reference")
+ENGINE_CONFIGS = {
+    "fast": {"engine": "fast"},
+    "reference": {"engine": "reference"},
+    "sharded2": {"engine": "sharded", "engine_shards": 2},
+    "sharded3": {"engine": "sharded", "engine_shards": 3},
+}
+ENGINES = tuple(ENGINE_CONFIGS)
 MODES = (EnforcementMode.STRICT, EnforcementMode.DEFER)
+
+
+def assert_all_match_reference(outcomes) -> None:
+    for label, outcome in outcomes.items():
+        assert outcome == outcomes["reference"], f"engine {label} diverged"
 
 
 def ncc1_pair(n: int, seed: int = 0, **overrides):
     """Identically-seeded NCC1 networks (full knowledge), one per engine."""
     return {
-        engine: Network(
+        label: Network(
             n,
             NCCConfig(
                 seed=seed,
-                engine=engine,
                 variant=Variant.NCC1,
                 random_ids=False,
+                **config,
                 **overrides,
             ),
         )
-        for engine in ENGINES
+        for label, config in ENGINE_CONFIGS.items()
     }
 
 
@@ -90,6 +103,7 @@ class TestSendCapBoundary:
             targets = ids[1 : 1 + net.send_cap + overshoot]
             sends = [(sender, dst, msg("x")) for dst in targets]
             outcomes[engine] = (run_plan(net, sends), snapshot(net))
+            net.close()
         result = outcomes["fast"][0]
         if overshoot:
             assert result[:2] == ("err", "send")
@@ -97,7 +111,7 @@ class TestSendCapBoundary:
             assert result[4] == net.send_cap + 1
         else:
             assert result[0] == "ok"
-        assert outcomes["fast"] == outcomes["reference"]
+        assert_all_match_reference(outcomes)
 
 
 class TestRecvCapBoundary:
@@ -110,6 +124,7 @@ class TestRecvCapBoundary:
             senders = ids[1 : 1 + net.recv_cap + overshoot]
             sends = [(s, dst, msg("y")) for s in senders]
             outcomes[engine] = (run_plan(net, sends), snapshot(net))
+            net.close()
         result = outcomes["fast"][0]
         if overshoot:
             assert result[:2] == ("err", "recv")
@@ -117,7 +132,7 @@ class TestRecvCapBoundary:
             assert result[4] == net.recv_cap + 1
         else:
             assert result[0] == "ok"
-        assert outcomes["fast"] == outcomes["reference"]
+        assert_all_match_reference(outcomes)
 
     @pytest.mark.parametrize("overshoot", [0, 1, 3])
     def test_defer_mode_spills_identically(self, overshoot):
@@ -135,7 +150,8 @@ class TestRecvCapBoundary:
             assert net.pending_deferred() == overshoot
             drained = net.drain()
             outcomes[engine] = (drained, snapshot(net))
-        assert outcomes["fast"] == outcomes["reference"]
+            net.close()
+        assert_all_match_reference(outcomes)
         assert outcomes["fast"][1][3] == 0  # backlog fully drained
 
     def test_defer_backlog_interleaves_with_new_sends(self):
@@ -157,7 +173,8 @@ class TestRecvCapBoundary:
             assert kinds[:overshoot] == ["first"] * overshoot
             assert kinds[overshoot] == "second"
             outcomes[engine] = snapshot(net)
-        assert outcomes["fast"] == outcomes["reference"]
+            net.close()
+        assert_all_match_reference(outcomes)
 
 
 class TestWordBudgetBoundary:
@@ -185,7 +202,8 @@ class TestWordBudgetBoundary:
             assert outcomes[engine][0][0] == "ok"
             assert outcomes[engine][1][:2] == ("err", "size")
             assert outcomes[engine][1][2] == max_words + 1
-        assert outcomes["fast"] == outcomes["reference"]
+            net.close()
+        assert_all_match_reference(outcomes)
 
     @pytest.mark.parametrize("mode", MODES)
     def test_multiword_integers_straddle_budget(self, mode):
@@ -207,14 +225,15 @@ class TestWordBudgetBoundary:
             assert outcomes[engine][0][0] == "ok"
             assert outcomes[engine][1][:2] == ("err", "size")
             assert outcomes[engine][1][2] == max_words + 1
-        assert outcomes["fast"] == outcomes["reference"]
+            net.close()
+        assert_all_match_reference(outcomes)
 
 
 class TestGatingErrors:
     def test_unknown_recipient_identical(self):
         outcomes = {}
         for engine in ENGINES:
-            net = Network(6, NCCConfig(seed=9, engine=engine))
+            net = Network(6, NCCConfig(seed=9, **ENGINE_CONFIGS[engine]))
             ids = list(net.node_ids)
             # NCC0 path knowledge: the tail knows nobody behind it.
             outcomes[engine] = (
@@ -222,7 +241,23 @@ class TestGatingErrors:
                 snapshot(net),
             )
             assert outcomes[engine][0][:2] == ("err", "unknown")
-        assert outcomes["fast"] == outcomes["reference"]
+            net.close()
+        assert_all_match_reference(outcomes)
+
+    def test_nonscalar_payload_type_error_identical(self):
+        """A non-scalar payload raises the same TypeError on every
+        engine (the sharded engine must fall back, not crash a worker)."""
+        outcomes = {}
+        for engine, net in ncc1_pair(8, seed=11).items():
+            ids = list(net.node_ids)
+            try:
+                net.step([(ids[0], ids[1], msg("bad", data=((1, 2),)))])
+                outcomes[engine] = ("ok",)
+            except TypeError as exc:
+                outcomes[engine] = ("type_error", str(exc), snapshot(net))
+            net.close()
+        assert outcomes["fast"][0] == "type_error"
+        assert_all_match_reference(outcomes)
 
     def test_self_send_identical(self):
         outcomes = {}
@@ -230,7 +265,8 @@ class TestGatingErrors:
             v = net.node_ids[0]
             outcomes[engine] = (run_plan(net, [(v, v, msg("me"))]), snapshot(net))
             assert outcomes[engine][0][:2] == ("err", "protocol")
-        assert outcomes["fast"] == outcomes["reference"]
+            net.close()
+        assert_all_match_reference(outcomes)
 
 
 class TestPlanFuzz:
@@ -272,4 +308,5 @@ class TestPlanFuzz:
                     log.append(result)
                     break  # network state after an error is final
             outcomes[engine] = (log, snapshot(net), net.stats())
-        assert outcomes["fast"] == outcomes["reference"]
+            net.close()
+        assert_all_match_reference(outcomes)

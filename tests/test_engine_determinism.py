@@ -22,7 +22,13 @@ from repro.primitives.protocol import run_protocol
 from repro.primitives.sorting import distributed_sort
 from repro.workloads import random_graphic_sequence, random_tree_sequence
 
-ENGINES = ("fast", "reference")
+ENGINE_CONFIGS = {
+    "fast": {"engine": "fast"},
+    "reference": {"engine": "reference"},
+    "sharded2": {"engine": "sharded", "engine_shards": 2},
+    "sharded3": {"engine": "sharded", "engine_shards": 3},
+}
+ENGINES = tuple(ENGINE_CONFIGS)
 
 
 def fresh_net(n: int, seed: int, variant: Variant, engine: str) -> Network:
@@ -30,9 +36,9 @@ def fresh_net(n: int, seed: int, variant: Variant, engine: str) -> Network:
         n,
         NCCConfig(
             seed=seed,
-            engine=engine,
             variant=variant,
             random_ids=variant is Variant.NCC0,
+            **ENGINE_CONFIGS[engine],
         ),
     )
 
@@ -48,6 +54,7 @@ def test_sorting_stats_byte_identical(engine, variant, n, seed):
         table = {v: rng.randrange(n) for v in net.node_ids}
         _, order = run_protocol(net, distributed_sort(net, lambda v: table[v]))
         snapshots.append((order, net.stats()))
+        net.close()
     assert snapshots[0][0] == snapshots[1][0]
     assert snapshots[0][1] == snapshots[1][1]
     assert repr(snapshots[0][1]).encode() == repr(snapshots[1][1]).encode()
@@ -62,6 +69,7 @@ def test_degree_realization_byte_identical(engine, n, seed):
         net = fresh_net(n, seed, Variant.NCC0, engine)
         result = realize_degree_sequence(net, dict(zip(net.node_ids, seq)))
         snapshots.append(result)
+        net.close()
     assert snapshots[0] == snapshots[1]
     assert repr(snapshots[0].stats).encode() == repr(snapshots[1].stats).encode()
     assert snapshots[0].edges == snapshots[1].edges
@@ -76,6 +84,7 @@ def test_tree_realization_byte_identical(engine, n, seed):
         net = fresh_net(n, seed, Variant.NCC0, engine)
         result = realize_tree(net, dict(zip(net.node_ids, seq)))
         snapshots.append(result)
+        net.close()
     assert snapshots[0] == snapshots[1]
     assert repr(snapshots[0].stats).encode() == repr(snapshots[1].stats).encode()
 
@@ -91,4 +100,5 @@ def test_engines_agree_with_each_other_deterministically(n, seed):
             table = {v: rng.randrange(n) for v in net.node_ids}
             run_protocol(net, distributed_sort(net, lambda v: table[v]))
             reprs.add(repr(net.stats()))
+            net.close()
     assert len(reprs) == 1

@@ -1,0 +1,331 @@
+"""The process-pool batch drain, LRU caches, coalescing and budgets.
+
+Covers the executor's ``mode="processes"`` drain (per-worker warm
+pools, parent-side response cache, crash recovery), the LRU eviction
+policy of the response and scenario caches (with the hit/evict counters
+surfaced in batch stats), in-flight request coalescing in the threaded
+and process drains, and the per-request ``max_rounds`` budget with its
+typed ``BUDGET_EXCEEDED`` error envelope.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import threading
+
+import pytest
+
+import repro.service.executor as executor_module
+from repro.ncc.errors import RoundBudgetExceeded
+from repro.ncc.network import Network
+from repro.ncc.config import NCCConfig
+from repro.service import (
+    BatchExecutor,
+    NetworkPool,
+    RealizationRequest,
+    ServiceError,
+    default_registry,
+)
+
+HAS_FORK = "fork" in multiprocessing.get_all_start_methods()
+
+
+def req(kind="degree_implicit", scenario="regular", n=32, seed=0, **kw):
+    return RealizationRequest(kind=kind, scenario=scenario, n=n, seed=seed, **kw)
+
+
+def mixed_batch():
+    """A small mixed batch with repeats (three distinct computations)."""
+    batch = []
+    for i in range(3):
+        batch.append(req(seed=1, request_id=f"a{i}"))
+        batch.append(req(kind="tree", scenario="tree_random", n=24, seed=2,
+                         request_id=f"b{i}"))
+    batch.append(req(kind="connectivity", scenario="rho_uniform", n=24, seed=3,
+                     request_id="c0"))
+    return batch
+
+
+class TestProcessDrain:
+    def test_field_identical_to_sequential(self):
+        batch = mixed_batch()
+        sequential = BatchExecutor(pool=NetworkPool(), registry=default_registry())
+        expected = sequential.run(list(batch))
+        with BatchExecutor(pool=NetworkPool(), registry=default_registry(),
+                           mode="processes", workers=2) as processes:
+            got = processes.run(list(batch))
+        assert [r.fingerprint() for r in got] == [r.fingerprint() for r in expected]
+        assert [r.request_id for r in got] == [r.request_id for r in batch]
+
+    def test_parent_cache_serves_second_batch(self):
+        with BatchExecutor(pool=NetworkPool(), registry=default_registry(),
+                           mode="processes", workers=2) as executor:
+            first = executor.run(mixed_batch())
+            second = executor.run(mixed_batch())
+            stats = executor.stats()
+        assert [r.fingerprint() for r in second] == [r.fingerprint() for r in first]
+        assert all(r.cached for r in second)  # all hits on the second pass
+        assert stats["response_cache_hits"] >= len(second)
+
+    def test_batch_coalescing_one_execution_per_key(self):
+        duplicates = [req(seed=7, request_id=f"d{i}") for i in range(5)]
+        with BatchExecutor(pool=NetworkPool(), registry=default_registry(),
+                           mode="processes", workers=2) as executor:
+            out = executor.run(duplicates)
+            stats = executor.stats()
+        assert len({r.fingerprint() for r in out}) == 1
+        assert stats["coalesced_hits"] == 4
+        assert sum(1 for r in out if not r.cached) == 1  # one real execution
+        assert [r.request_id for r in out] == [f"d{i}" for i in range(5)]
+
+    def test_cache_disabled_disables_coalescing(self):
+        duplicates = [req(seed=7, request_id=f"d{i}") for i in range(3)]
+        with BatchExecutor(pool=NetworkPool(), registry=default_registry(),
+                           cache_responses=False,
+                           mode="processes", workers=2) as executor:
+            out = executor.run(duplicates)
+            stats = executor.stats()
+        assert stats["coalesced_hits"] == 0
+        assert all(not r.cached for r in out)  # every occurrence executed
+
+    def test_error_outcomes_are_not_coalesced(self):
+        """Duplicates of a failing request each get a real attempt (and
+        never a cached=True copy of the failure) — matching the threaded
+        single-flight's leader-failure semantics."""
+        bad = [RealizationRequest(kind="degree_implicit",
+                                  scenario="capacity_classes", n=4, seed=1,
+                                  request_id=f"e{i}",
+                                  params={"super_fraction": 0.9,
+                                          "regular_fraction": 0.9})
+               for i in range(3)]
+        with BatchExecutor(pool=NetworkPool(), registry=default_registry(),
+                           mode="processes", workers=2) as executor:
+            out = executor.run(bad + [req(seed=1, request_id="good")])
+            stats = executor.stats()
+        assert all(r.verdict == "ERROR" for r in out[:3])
+        assert all(not r.cached for r in out[:3])
+        assert [r.request_id for r in out[:3]] == ["e0", "e1", "e2"]
+        assert out[3].verdict == "REALIZED"
+        assert stats["coalesced_hits"] == 0  # failures coalesce nothing
+        assert stats["requests_handled"] == 4
+
+    def test_invalid_requests_enveloped_in_place(self):
+        batch = [req(seed=1, request_id="good"),
+                 RealizationRequest(kind="nope", degrees=(2, 2), request_id="bad")]
+        with BatchExecutor(pool=NetworkPool(), registry=default_registry(),
+                           mode="processes", workers=2) as executor:
+            out = executor.run(batch)
+        assert out[0].verdict != "ERROR"
+        assert out[1].verdict == "ERROR" and out[1].request_id == "bad"
+
+    @pytest.mark.skipif(not HAS_FORK, reason="crash probe needs fork inheritance")
+    def test_worker_crash_fails_cleanly_and_drain_recovers(self):
+        """A dying worker costs its request a typed error, nothing more."""
+        executor_module._CRASH_REQUEST_IDS = frozenset({"boom"})
+        try:
+            batch = [req(seed=i, request_id=f"ok{i}") for i in range(4)]
+            batch.insert(2, req(seed=99, request_id="boom"))
+            with BatchExecutor(pool=NetworkPool(), registry=default_registry(),
+                               cache_responses=False,
+                               mode="processes", workers=2) as executor:
+                out = executor.run(batch)
+                stats = executor.stats()
+                # The drain is not wedged: the same executor keeps serving.
+                again = executor.run([req(seed=0, request_id="after")])
+        finally:
+            executor_module._CRASH_REQUEST_IDS = frozenset()
+        by_id = {r.request_id: r for r in out}
+        assert by_id["boom"].verdict == "ERROR"
+        assert by_id["boom"].error_code == "WORKER_CRASHED"
+        for i in range(4):
+            assert by_id[f"ok{i}"].verdict == "REALIZED", by_id[f"ok{i}"]
+        assert stats["worker_crashes"] >= 1
+        assert again[0].verdict == "REALIZED"
+
+    def test_single_request_runs_in_process_mode_executor(self):
+        with BatchExecutor(pool=NetworkPool(), registry=default_registry(),
+                           mode="processes", workers=2) as executor:
+            out = executor.run([req(seed=5, request_id="solo")])
+        assert len(out) == 1 and out[0].verdict == "REALIZED"
+
+
+class TestResponseCacheLRU:
+    def test_eviction_is_lru_not_fifo(self):
+        executor = BatchExecutor(pool=NetworkPool(), registry=default_registry(),
+                                 max_cached_responses=2)
+        a, b, c = req(seed=1), req(seed=2), req(seed=3)
+        executor.handle(a)
+        executor.handle(b)
+        executor.handle(a)  # touch a: now b is least-recently-used
+        executor.handle(c)  # evicts b under LRU (FIFO would evict a)
+        stats = executor.stats()
+        assert stats["response_cache_evictions"] == 1
+        assert executor.handle(a).cached  # a survived
+        assert not executor.handle(b).cached  # b was evicted, re-runs
+
+    def test_counters_in_stats(self):
+        executor = BatchExecutor(pool=NetworkPool(), registry=default_registry(),
+                                 max_cached_responses=1)
+        executor.handle(req(seed=1))
+        executor.handle(req(seed=1))
+        executor.handle(req(seed=2))
+        stats = executor.stats()
+        assert stats["response_cache_hits"] == 1
+        assert stats["response_cache_evictions"] == 1
+        assert stats["response_cache_size"] == 1
+        assert {"coalesced_hits", "worker_crashes",
+                "scenario_cache_evictions"} <= set(stats)
+
+
+class TestScenarioCacheLRU:
+    def test_registry_lru_and_eviction_counter(self):
+        registry = default_registry()
+        registry.max_cached = 2
+        registry.materialize("regular", 16, seed=0)
+        registry.materialize("regular", 24, seed=0)
+        registry.materialize("regular", 16, seed=0)  # touch 16: LRU = 24
+        registry.materialize("regular", 32, seed=0)  # evicts 24
+        assert registry.cache_evictions == 1
+        hits_before = registry.cache_hits
+        registry.materialize("regular", 16, seed=0)  # still resident
+        assert registry.cache_hits == hits_before + 1
+        misses_before = registry.cache_misses
+        registry.materialize("regular", 24, seed=0)  # evicted: regenerates
+        assert registry.cache_misses == misses_before + 1
+
+    def test_executor_reports_scenario_evictions(self):
+        registry = default_registry()
+        registry.max_cached = 1
+        executor = BatchExecutor(pool=NetworkPool(), registry=registry)
+        executor.handle(req(seed=1, n=16))
+        executor.handle(req(seed=1, n=24))
+        assert executor.stats()["scenario_cache_evictions"] >= 1
+
+
+class TestThreadedCoalescing:
+    def test_concurrent_identical_requests_single_execution(self):
+        executor = BatchExecutor(pool=NetworkPool(), registry=default_registry(),
+                                 mode="threads", workers=4)
+        identical = [req(kind="degree_implicit", scenario="power_law", n=64,
+                         seed=11, request_id=f"x{i}") for i in range(6)]
+        out = executor.run(identical)
+        stats = executor.stats()
+        assert len({r.fingerprint() for r in out}) == 1
+        # One execution; the other five were coalesced or cache-served
+        # (the two counters are disjoint).
+        assert stats["coalesced_hits"] + stats["response_cache_hits"] == 5
+        assert sum(1 for r in out if not r.cached) == 1
+
+    def test_failed_leader_does_not_starve_followers(self):
+        """If the leader errors (not cached), a follower re-runs the key."""
+        registry = default_registry()
+        executor = BatchExecutor(pool=NetworkPool(), registry=registry,
+                                 mode="threads", workers=3)
+        # An infeasible scenario errors for every runner, deterministically.
+        bad = [RealizationRequest(kind="degree_implicit", scenario="capacity_classes",
+                                  n=4, seed=1, request_id=f"e{i}",
+                                  params={"super_fraction": 0.9,
+                                          "regular_fraction": 0.9})
+               for i in range(4)]
+        out = executor.run(bad)
+        assert all(r.verdict == "ERROR" for r in out)
+        assert executor.stats()["response_cache_hits"] == 0  # errors not cached
+
+
+class TestRoundBudget:
+    def test_budget_exceeded_is_typed(self):
+        executor = BatchExecutor(pool=NetworkPool(), registry=default_registry())
+        response = executor.handle(req(n=64, seed=0, max_rounds=5, request_id="t"))
+        assert response.verdict == "ERROR"
+        assert response.error_code == "BUDGET_EXCEEDED"
+        assert "round budget exceeded" in response.error
+        round_trip = type(response).from_dict(response.to_dict())
+        assert round_trip.error_code == "BUDGET_EXCEEDED"
+
+    def test_generous_budget_realizes(self):
+        executor = BatchExecutor(pool=NetworkPool(), registry=default_registry())
+        response = executor.handle(req(n=32, seed=0, max_rounds=10**6))
+        assert response.verdict == "REALIZED"
+
+    def test_budget_does_not_poison_pooled_network(self):
+        pool = NetworkPool()
+        executor = BatchExecutor(pool=pool, registry=default_registry(),
+                                 cache_responses=False)
+        exhausted = executor.handle(req(n=32, seed=4, max_rounds=3))
+        assert exhausted.error_code == "BUDGET_EXCEEDED"
+        # The same warm network (same pool key) must run unbudgeted now.
+        clean = executor.handle(req(n=32, seed=4))
+        assert clean.verdict == "REALIZED"
+        assert pool.stats()["pool_hits"] >= 1
+
+    def test_budget_in_process_drain(self):
+        batch = [req(n=64, seed=0, max_rounds=5, request_id="tiny"),
+                 req(n=32, seed=1, request_id="fine")]
+        with BatchExecutor(pool=NetworkPool(), registry=default_registry(),
+                           mode="processes", workers=2) as executor:
+            out = executor.run(batch)
+        assert out[0].error_code == "BUDGET_EXCEEDED"
+        assert out[1].verdict == "REALIZED"
+
+    def test_network_level_budget_semantics(self):
+        net = Network(16, NCCConfig(seed=0))
+        net.set_round_budget(2)
+        net.idle_round()
+        net.idle_round()
+        with pytest.raises(RoundBudgetExceeded) as excinfo:
+            net.idle_round()
+        assert excinfo.value.budget == 2 and excinfo.value.rounds == 3
+        with pytest.raises(RoundBudgetExceeded):
+            net.charge(10)
+        net.reset()
+        assert net.round_budget is None  # budgets never survive a lease
+        with pytest.raises(ValueError):
+            net.set_round_budget(0)
+
+    def test_max_rounds_validation(self):
+        with pytest.raises(ServiceError, match="max_rounds"):
+            req(max_rounds=0).validate()
+        with pytest.raises(ServiceError, match="max_rounds"):
+            req(max_rounds=True).validate()
+        with pytest.raises(ServiceError, match="shards"):
+            req(shards=-1).validate()
+        req(max_rounds=10, shards=2).validate()
+
+    def test_shards_neutralized_in_cache_key_for_inprocess_engines(self):
+        a = req(seed=1, shards=3)
+        b = req(seed=1)
+        assert a.cache_key() == b.cache_key()
+        sharded_a = req(seed=1, engine="sharded", shards=2)
+        sharded_b = req(seed=1, engine="sharded", shards=3)
+        assert sharded_a.cache_key() != sharded_b.cache_key()
+
+
+class TestModeSurface:
+    def test_mode_validation(self):
+        with pytest.raises(ValueError, match="mode"):
+            BatchExecutor(mode="fibers")
+        assert BatchExecutor(mode="processes").mode == "processes"
+
+    def test_close_without_pool_is_noop(self):
+        executor = BatchExecutor(mode="processes")
+        executor.close()
+        executor.close()
+
+    def test_cli_batch_mode_processes(self, tmp_path, capsys):
+        import json
+
+        from repro.__main__ import main
+
+        path = tmp_path / "batch.jsonl"
+        path.write_text(
+            '{"request_id": "p1", "kind": "degree_implicit", "scenario": '
+            '"regular", "n": 16, "seed": 1}\n'
+            '{"request_id": "p2", "kind": "tree", "scenario": "tree_random", '
+            '"n": 12, "seed": 2}\n'
+        )
+        assert main(["batch", str(path), "--mode", "processes",
+                     "--workers", "2"]) == 0
+        out = capsys.readouterr().out
+        rows = [json.loads(line) for line in out.strip().splitlines()]
+        assert [r["request_id"] for r in rows] == ["p1", "p2"]
+        assert all(r["verdict"] == "REALIZED" for r in rows)

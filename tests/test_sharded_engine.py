@@ -1,0 +1,249 @@
+"""Sharded-engine specifics the differential suites don't isolate.
+
+The cross-engine bit-identity gates live in
+``test_differential_engines.py`` / ``test_engine_cap_fuzz.py`` /
+``test_engine_determinism.py`` (which run the sharded engine at two
+shard counts).  This file covers the machinery itself: the partitioner,
+lazy worker lifecycle, grant forwarding, worker-death recovery, and the
+engine registry/CLI surfaces.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ncc.config import NCCConfig, Variant
+from repro.ncc.engine import engine_names, make_engine
+from repro.ncc.network import Network
+from repro.ncc.sharded import ShardedEngine, partition_nodes
+from repro.primitives.protocol import run_protocol
+from repro.primitives.sorting import distributed_sort
+
+
+def sharded_net(n: int, shards: int, seed: int = 0, **overrides) -> Network:
+    return Network(
+        n,
+        NCCConfig(seed=seed, engine="sharded", engine_shards=shards, **overrides),
+    )
+
+
+def run_sorting(net: Network):
+    import random
+
+    rng = random.Random(13)
+    table = {v: rng.randrange(net.n) for v in net.node_ids}
+    _, order = run_protocol(net, distributed_sort(net, lambda v: table[v]))
+    return (tuple(order), net.stats())
+
+
+class TestPartitioner:
+    def test_contiguous_balanced_cover(self):
+        ids = tuple(range(100, 117))  # 17 nodes
+        shards = partition_nodes(ids, 4)
+        assert len(shards) == 4
+        assert tuple(v for shard in shards for v in shard) == ids  # order kept
+        sizes = [len(shard) for shard in shards]
+        assert max(sizes) - min(sizes) <= 1  # balanced
+        assert sizes == sorted(sizes, reverse=True)  # extras go first
+
+    def test_clamps_to_node_count(self):
+        assert len(partition_nodes((1, 2, 3), 8)) == 3
+        assert len(partition_nodes((1, 2, 3), 0)) == 1
+        assert partition_nodes((5,), 2) == [(5,)]
+
+    def test_engine_clamps_shard_count(self):
+        net = sharded_net(3, shards=16)
+        assert isinstance(net.engine, ShardedEngine)
+        assert net.engine.shards == 3
+        net.close()
+
+    def test_single_shard_degenerates_cleanly(self):
+        single = sharded_net(10, shards=1, seed=5)
+        reference = Network(10, NCCConfig(seed=5, engine="reference"))
+        assert run_sorting(single) == run_sorting(reference)
+        single.close()
+
+
+class TestRegistry:
+    def test_engine_names_include_sharded(self):
+        assert set(engine_names()) >= {"fast", "reference", "sharded"}
+
+    def test_make_engine_resolves_lazily(self):
+        net = Network(4, NCCConfig())
+        engine = make_engine("sharded", net)
+        assert isinstance(engine, ShardedEngine)
+        engine.close()
+
+    def test_unknown_engine_message_names_sharded(self):
+        with pytest.raises(ValueError, match="sharded"):
+            Network(4, NCCConfig(engine="warp"))
+
+
+class TestWorkerLifecycle:
+    def test_workers_spawn_lazily(self):
+        net = sharded_net(8, shards=2)
+        assert net.engine._conns is None  # construction spawned nothing
+        net.idle_round()  # quiescent rounds stay IPC-free
+        assert net.engine._conns is None
+        assert net.rounds == 1
+        run_sorting(net)
+        assert net.engine._conns is not None
+        net.close()
+
+    def test_close_is_idempotent_and_engine_recovers(self):
+        net = sharded_net(12, shards=2, seed=3)
+        first = run_sorting(net)
+        procs = list(net.engine._procs)
+        net.close()
+        net.close()
+        for proc in procs:
+            assert not proc.is_alive()
+        # Workers respawn from the parent's authoritative state: a fresh
+        # run after reset is bit-identical to an untouched network.
+        net.reset()
+        assert run_sorting(net) == first
+        net.close()
+
+    def test_killed_worker_mid_run_surfaces_and_engine_heals(self):
+        net = sharded_net(12, shards=2, seed=3)
+        expected = run_sorting(net)
+        net.reset()
+        run_sorting(net)  # ensure workers are up
+        net.engine._procs[0].terminate()
+        net.engine._procs[0].join()
+        # Delivering against a dead worker fails loudly (the round
+        # aborts) and tears the worker pool down so nothing is wedged.
+        from repro.ncc.message import msg
+
+        src = next(v for v, known in net.known.items() if known)
+        dst = next(iter(net.known[src]))
+        with pytest.raises((RuntimeError, OSError)):
+            net.step([(src, dst, msg("probe"))])
+        assert net.engine._conns is None  # self-healed: pool torn down
+        # Next run respawns from parent state and is bit-identical again.
+        assert run_sorting(net.reset()) == expected
+        net.close()
+
+    def test_killed_worker_heals_silently_across_reset(self):
+        """A dead worker discovered at reset (lease release) just tears
+        the pool down; the next lease respawns and stays bit-identical."""
+        net = sharded_net(12, shards=2, seed=3)
+        expected = run_sorting(net)
+        for proc in net.engine._procs:
+            proc.terminate()
+            proc.join()
+        net.reset()  # resync hits dead pipes -> engine closes itself
+        assert net.engine._conns is None
+        assert run_sorting(net) == expected
+        net.close()
+
+
+class TestGrantForwarding:
+    @pytest.mark.parametrize("shards", [2, 3])
+    def test_granted_knowledge_enables_sends(self, shards):
+        """grant_knowledge must reach the (cross-shard) sender replica."""
+        from repro.ncc.message import msg
+
+        outcomes = {}
+        for label, config in (
+            ("reference", NCCConfig(seed=2, engine="reference")),
+            ("sharded", NCCConfig(seed=2, engine="sharded", engine_shards=shards)),
+        ):
+            net = Network(12, config)
+            ids = list(net.node_ids)
+            src, dst = ids[-1], ids[0]  # tail knows nobody behind it (NCC0)
+            assert not net.knows(src, dst)
+            net.grant_knowledge(src, dst)
+            inboxes = net.step([(src, dst, msg("hi", data=(1,)))])
+            outcomes[label] = (
+                {d: [(m.kind, m.src, m.data) for m in box] for d, box in inboxes.items()},
+                net.stats(),
+                {v: frozenset(s) for v, s in net.known.items()},
+            )
+            net.close()
+        assert outcomes["sharded"] == outcomes["reference"]
+
+    def test_grants_before_first_round_land_in_spawn_snapshot(self):
+        from repro.ncc.message import msg
+
+        net = sharded_net(10, shards=2, seed=1)
+        ids = list(net.node_ids)
+        net.grant_knowledge(ids[-1], ids[0])  # queued pre-spawn
+        inboxes = net.step([(ids[-1], ids[0], msg("hello"))])
+        assert [m.src for m in inboxes[ids[0]]] == [ids[-1]]
+        net.close()
+
+
+class TestVariantsUnderSharding:
+    @pytest.mark.parametrize("shards", [2, 3])
+    def test_ncc1_identical(self, shards):
+        a = sharded_net(18, shards=shards, seed=9, variant=Variant.NCC1, random_ids=False)
+        b = Network(18, NCCConfig(seed=9, engine="reference", variant=Variant.NCC1,
+                                  random_ids=False))
+        assert run_sorting(a) == run_sorting(b)
+        a.close()
+
+    def test_unbounded_enforcement_identical(self):
+        from repro.ncc.config import EnforcementMode
+        from repro.ncc.message import msg
+
+        outcomes = {}
+        for label, engine_cfg in (
+            ("reference", {"engine": "reference"}),
+            ("sharded", {"engine": "sharded", "engine_shards": 2}),
+        ):
+            net = Network(
+                24,
+                NCCConfig(seed=6, variant=Variant.NCC1, random_ids=False,
+                          enforcement=EnforcementMode.UNBOUNDED, **engine_cfg),
+            )
+            ids = list(net.node_ids)
+            hub = ids[0]
+            flood = [(s, hub, msg("f", data=(s,))) for s in ids[1:]]
+            inboxes = net.step(flood)
+            outcomes[label] = (
+                [(m.src, m.data) for m in inboxes[hub]],
+                net.stats(),
+            )
+            net.close()
+        assert outcomes["sharded"] == outcomes["reference"]
+
+
+class TestInterningInvariant:
+    def test_delivered_and_mirrored_kinds_are_interned(self):
+        """Pickling breaks ``sys.intern``; the engine must restore it for
+        every message a protocol can see — inboxes AND the parent's
+        defer-mode backlog mirror (a fallback replay delivers those)."""
+        import sys
+
+        from repro.ncc.config import EnforcementMode
+        from repro.ncc.message import msg
+
+        net = sharded_net(24, shards=2, seed=4, variant=Variant.NCC1,
+                          random_ids=False,
+                          enforcement=EnforcementMode.DEFER)
+        ids = list(net.node_ids)
+        hub = ids[0]
+        flood = [(s, hub, msg("spillkind")) for s in ids[1:net.recv_cap + 5]]
+        inboxes = net.step(flood)
+        for box in inboxes.values():
+            for message in box:
+                assert message.kind is sys.intern(message.kind)
+        assert net.pending_deferred() > 0
+        for queue in net._deferred.values():
+            for message in queue:
+                assert message.kind is sys.intern(message.kind)
+        net.close()
+
+
+class TestShardedCLI:
+    def test_engine_sharded_matches_fast_output(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["realize", "--degrees", "3,3,2,2,2,2", "--fast",
+                     "--engine", "sharded", "--shards", "2"]) == 0
+        sharded_out = capsys.readouterr().out
+        assert main(["realize", "--degrees", "3,3,2,2,2,2", "--fast",
+                     "--engine", "fast"]) == 0
+        fast_out = capsys.readouterr().out
+        assert sharded_out == fast_out
