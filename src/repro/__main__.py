@@ -18,7 +18,10 @@ writing a script:
   batch through the warm-pool executor, one JSON response per line
   (``--mode processes --workers N`` drains across worker processes,
   each with its own warm network pool);
-* ``serve`` — long-lived JSONL service on stdin/stdout;
+* ``serve`` — long-lived JSONL service on stdin/stdout
+  (``--mode processes --workers N`` streams: requests enter the worker
+  pool as their lines arrive, responses are emitted in input order as
+  they complete);
 * ``profile sorting --n 256 [--top 25] [--sort-by cumulative]`` — run a
   registry scenario under ``cProfile`` and print the hottest functions,
   so perf work starts from data instead of guesses.
@@ -54,12 +57,26 @@ def _parse_ints(text: str) -> List[int]:
 
 
 def _make_net(n: int, args, ncc1: bool = False) -> Network:
+    engine = getattr(args, "engine", "fast")
+    shards = getattr(args, "shards", None)
+    kwargs = {}
+    if shards is not None:
+        # Validate here, at the CLI surface, instead of surfacing a deep
+        # worker/partitioner failure (or a silent clamp) mid-run.
+        if shards < 1:
+            raise SystemExit(f"--shards must be >= 1, got {shards}")
+        if engine == "sharded" and shards > n:
+            raise SystemExit(
+                f"--shards {shards} exceeds the network size (n={n}); "
+                "the sharded engine partitions nodes across 1..n workers"
+            )
+        kwargs["engine_shards"] = shards
     config = NCCConfig(
         seed=args.seed,
-        engine=getattr(args, "engine", "fast"),
-        engine_shards=getattr(args, "shards", 2),
+        engine=engine,
         variant=Variant.NCC1 if ncc1 else Variant.NCC0,
         random_ids=not ncc1,
+        **kwargs,
     )
     return Network(n, config)
 
@@ -247,8 +264,11 @@ def cmd_serve(args) -> int:
     from repro.service import serve
 
     executor = _make_executor(args)
-    handled = serve(sys.stdin, sys.stdout, executor)
-    print(f"serve: emitted {handled} response(s)", file=sys.stderr)
+    try:
+        handled = serve(sys.stdin, sys.stdout, executor)
+    finally:
+        executor.close()
+    print(f"serve[{executor.mode}]: emitted {handled} response(s)", file=sys.stderr)
     return 0
 
 
@@ -328,8 +348,9 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument(
             "--shards",
             type=int,
-            default=2,
-            help="worker-process count for --engine sharded (default 2)",
+            default=None,
+            help="worker-process count for --engine sharded "
+            "(1..n; default: engine default, clamped to n)",
         )
 
     p = sub.add_parser("info", help="show NCC model parameters")
@@ -385,6 +406,16 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(fn=cmd_batch)
 
     p = sub.add_parser("serve", help="long-lived JSONL service on stdin/stdout")
+    p.add_argument(
+        "--mode",
+        choices=("sequential", "threads", "processes"),
+        default="sequential",
+        help="request handling: sequential/threads handle each line in "
+        "turn; processes streams — lines are submitted to the worker "
+        "pool as they arrive and responses are emitted, in input order, "
+        "as they complete",
+    )
+    p.add_argument("--workers", type=int, default=4)
     p.add_argument("--no-pool", action="store_true", help="fresh network per request")
     p.add_argument("--no-cache", action="store_true", help="disable response cache")
     p.set_defaults(fn=cmd_serve)

@@ -83,8 +83,9 @@ class NCCConfig:
         All enforce identical semantics and report bit-identical
         metrics; see :mod:`repro.ncc.engine`.
     engine_shards:
-        Worker-process count for ``engine="sharded"`` (clamped to
-        ``[1, n]``; ignored by the in-process engines).
+        Worker-process count for ``engine="sharded"`` (must be >= 1;
+        clamped to ``n`` per network, since a shard needs at least one
+        node; ignored by the in-process engines).
     id_space_exponent:
         IDs are drawn from ``[1, n**id_space_exponent]`` (the paper's
         ``[1, n^c]``).
@@ -108,6 +109,22 @@ class NCCConfig:
     id_space_exponent: int = 3
     random_ids: bool = True
     seed: int = 0
+
+    def __post_init__(self) -> None:
+        # Catch a nonsensical shard count at configuration time with a
+        # clear message, not as a deep worker/partitioner failure once a
+        # sharded network starts delivering.  (shards > n is a *per
+        # network* condition, validated where n is known: the CLI and
+        # RealizationRequest.validate; the engine clamps as a backstop.)
+        if (
+            not isinstance(self.engine_shards, int)
+            or isinstance(self.engine_shards, bool)  # True == 1 must not pass
+            or self.engine_shards < 1
+        ):
+            raise ValueError(
+                f"engine_shards must be a positive integer, got "
+                f"{self.engine_shards!r}"
+            )
 
     def cap_for(self, n: int) -> tuple[int, int]:
         """Return ``(send_cap, recv_cap)`` for an ``n``-node network."""

@@ -57,7 +57,12 @@ from repro.ncc.errors import (
     SendCapExceeded,
     UnknownRecipientError,
 )
-from repro.ncc.message import Message, _scalar_words
+from repro.ncc.message import (
+    Message,
+    _scalar_words,
+    scalar_words_cached,
+    word_caches,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.ncc.network import Network, RoundPlan
@@ -82,7 +87,7 @@ class ReferenceEngine:
         per_sender: Dict[int, int] = {}
         staged: Dict[int, List[Message]] = {}
 
-        for src, dst, message in plan._sends:
+        for src, dst, message in plan.sends:
             if src not in net.known:
                 raise ProtocolError(f"unknown sender ID {src}")
             if dst == src:
@@ -140,12 +145,14 @@ class FastEngine:
     def __init__(self, net: "Network") -> None:
         self.net = net
         self._reference = ReferenceEngine(net)
-        # Scalar word-count caches.  Ints get their own cache (keyed by
-        # value, the hot case); other types go through a (type, value)
-        # key because equal-comparing scalars of different types
-        # (2**60 vs 2.0**60) can occupy different word counts.
-        self._int_words: Dict[int, int] = {}
-        self._scalar_words: Dict[Tuple[type, object], int] = {}
+        # Scalar word-count caches — the process-wide pair for this
+        # network's word width (see repro.ncc.message.word_caches), so
+        # every engine and pooled lease at the same width shares warm
+        # entries.  Ints get their own cache (keyed by value, the hot
+        # case); other types go through a (type, value) key because
+        # equal-comparing scalars of different types (2**60 vs 2.0**60)
+        # can occupy different word counts.
+        self._int_words, self._scalar_words = word_caches(net.word_bits)
         # Receivers whose defer-mode backlog is non-empty.
         self._spill_pending: set = set()
 
@@ -167,32 +174,22 @@ class FastEngine:
     def _words_of(self, message: Message) -> int:
         """Memoized :meth:`Message.words` for this network's word width.
 
-        The per-value dispatch below is deliberately inlined a second
-        time in :meth:`deliver`'s pass-1 loop (function calls are too
-        expensive there) — keep the two copies in lockstep.
+        Delegates to the shared :func:`repro.ncc.message.
+        scalar_words_cached` dispatch; the same dispatch is deliberately
+        inlined in :meth:`deliver`'s pass-1 loop (function calls are too
+        expensive there) — keep that copy in lockstep with the shared
+        implementation.
         """
         total = len(message.ids)
         data = message.data
         if data:
             int_cache = self._int_words
-            cache = self._scalar_words
+            scalar_cache = self._scalar_words
             word_bits = self.net.word_bits
             for value in data:
-                cls = value.__class__
-                if cls is int:
-                    words = int_cache.get(value)
-                    if words is None:
-                        words = _scalar_words(value, word_bits)
-                        int_cache[value] = words
-                elif cls is float or cls is bool or value is None:
-                    words = 1
-                else:
-                    key = (cls, value)
-                    words = cache.get(key)
-                    if words is None:
-                        words = _scalar_words(value, word_bits)
-                        cache[key] = words
-                total += words
+                total += scalar_words_cached(
+                    value, word_bits, int_cache, scalar_cache
+                )
         return total
 
     # -------------------------------------------------------------- #
@@ -209,6 +206,11 @@ class FastEngine:
         scalar_cache = self._scalar_words
         scalar_get = scalar_cache.get
         word_bits = net.word_bits
+        # One word_caches() call per round keeps the shared caches'
+        # growth bound enforced on this hottest writer path too (the
+        # inlined inserts below bypass it) — the trim itself lives in
+        # one place, repro/ncc/message.py.
+        word_caches(word_bits)
 
         # Pass 1 — validate, meter and bucket in one sweep, mutating no
         # network state.  Messages are stamped *in place* (their ``src``
@@ -222,7 +224,7 @@ class FastEngine:
         # The total word count is accumulated once for the whole round.
         # Scheduler plans cluster a task's consecutive sends, so the
         # sender's knowledge set is cached across iterations.
-        sends = plan._sends
+        sends = plan.sends
         staged: Dict[int, List[Message]] = {}
         staged_get = staged.get
         # dst -> flat list of IDs the receiver learns (senders + payload
@@ -252,23 +254,31 @@ class FastEngine:
             words = len(ids)
             data = message.data
             if data:
-                # Inlined copy of _words_of's dispatch — keep in lockstep.
-                for value in data:
-                    cls = value.__class__
-                    if cls is int:
-                        scalar = int_get(value)
-                        if scalar is None:
-                            scalar = _scalar_words(value, word_bits)
-                            int_cache[value] = scalar
-                    elif cls is float or cls is bool or value is None:
-                        scalar = 1
-                    else:
-                        key = (cls, value)
-                        scalar = scalar_get(key)
-                        if scalar is None:
-                            scalar = _scalar_words(value, word_bits)
-                            scalar_cache[key] = scalar
-                    words += scalar
+                # Inlined copy of scalar_words_cached's dispatch — keep
+                # in lockstep (repro/ncc/message.py).
+                try:
+                    for value in data:
+                        cls = value.__class__
+                        if cls is int:
+                            scalar = int_get(value)
+                            if scalar is None:
+                                scalar = _scalar_words(value, word_bits)
+                                int_cache[value] = scalar
+                        elif cls is float or cls is bool or value is None:
+                            scalar = 1
+                        else:
+                            key = (cls, value)
+                            scalar = scalar_get(key)
+                            if scalar is None:
+                                scalar = _scalar_words(value, word_bits)
+                                scalar_cache[key] = scalar
+                        words += scalar
+                except TypeError:
+                    # Non-scalar payload (unhashable): the reference
+                    # replay raises the canonical TypeError with
+                    # reference-identical partial state.
+                    violation = True
+                    break
             if words > max_words:
                 violation = True
                 break

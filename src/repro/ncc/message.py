@@ -22,7 +22,7 @@ from __future__ import annotations
 import math
 import sys
 from dataclasses import dataclass, field
-from typing import Any, Tuple
+from typing import Any, Dict, Tuple
 
 
 def _scalar_words(value: Any, word_bits: int) -> int:
@@ -50,8 +50,12 @@ def scalar_words_cached(value, word_bits, int_cache, scalar_cache) -> int:
     different types (``2**60`` vs ``2.0**60``) can occupy different word
     counts.  ``word_bits`` must be fixed for the caches' lifetime.
     :class:`~repro.ncc.engine.FastEngine` additionally inlines this
-    dispatch in its hottest loops (see its lockstep comments); the
-    sharded engine's workers call it directly.
+    dispatch in its hottest loop (see its lockstep comments); the
+    sharded engine's workers and :meth:`Message.words` call it directly.
+
+    Unhashable values never reach a cache: they fall through to the
+    uncached :func:`_scalar_words`, which raises the canonical
+    "payload values must be scalars" ``TypeError`` for non-scalars.
     """
     cls = value.__class__
     if cls is int:
@@ -63,11 +67,47 @@ def scalar_words_cached(value, word_bits, int_cache, scalar_cache) -> int:
     if cls is float or cls is bool or value is None:
         return 1
     key = (cls, value)
-    words = scalar_cache.get(key)
+    try:
+        words = scalar_cache.get(key)
+    except TypeError:  # unhashable => not a scalar
+        return _scalar_words(value, word_bits)
     if words is None:
         words = _scalar_words(value, word_bits)
         scalar_cache[key] = words
     return words
+
+
+#: Process-wide word-accounting caches, one ``(int_cache, scalar_cache)``
+#: pair per word width.  Pure memoization — a scalar's word count is a
+#: function of ``(value, word_bits)`` alone — so every engine, shard
+#: worker and :meth:`Message.words` call sharing a width shares the
+#: warm entries.
+_WORD_CACHES: Dict[int, Tuple[Dict[int, int], Dict[Tuple[type, Any], int]]] = {}
+
+#: Growth bound per cache dict.  Purity makes clearing always safe, so a
+#: long-lived serve process with endlessly varied payloads stays bounded:
+#: :func:`word_caches` clears any dict that outgrew the bound and lets
+#: it re-warm.  The engines' hottest loops insert through direct
+#: references that bypass this function, so their round prologues call
+#: ``word_caches`` once per round (``FastEngine.deliver``,
+#: ``_ShardState.stage``) to keep the bound enforced there too.  Holders
+#: of direct references keep working — they see the same (emptied)
+#: dicts.
+_WORD_CACHE_LIMIT = 1 << 20
+
+
+def word_caches(word_bits: int) -> Tuple[Dict[int, int], Dict[Tuple[type, Any], int]]:
+    """The shared ``(int_cache, scalar_cache)`` pair for ``word_bits``."""
+    caches = _WORD_CACHES.get(word_bits)
+    if caches is None:
+        caches = _WORD_CACHES[word_bits] = ({}, {})
+        return caches
+    int_cache, scalar_cache = caches
+    if len(int_cache) > _WORD_CACHE_LIMIT:
+        int_cache.clear()
+    if len(scalar_cache) > _WORD_CACHE_LIMIT:
+        scalar_cache.clear()
+    return caches
 
 
 @dataclass(frozen=True)
@@ -93,10 +133,22 @@ class Message:
     src: int = -1
 
     def words(self, word_bits: int) -> int:
-        """Size of this message in words for the given word width."""
+        """Size of this message in words for the given word width.
+
+        Delegates to the shared :func:`scalar_words_cached` path (one
+        cache pair per word width via :func:`word_caches`) instead of
+        re-running the uncached computation per call: the reference
+        engine asks twice per message and defer-mode backlogs ask again
+        per requeue, so repeated queries must be dict lookups.
+        """
         total = len(self.ids)
-        for value in self.data:
-            total += _scalar_words(value, word_bits)
+        data = self.data
+        if data:
+            int_cache, scalar_cache = word_caches(word_bits)
+            for value in data:
+                total += scalar_words_cached(
+                    value, word_bits, int_cache, scalar_cache
+                )
         return total
 
     def with_src(self, src: int) -> "Message":

@@ -60,6 +60,18 @@ class RoundPlan:
         """Merge another plan's sends into this one."""
         self._sends.extend(other._sends)
 
+    @property
+    def sends(self) -> List[Tuple[int, int, Message]]:
+        """The staged ``(src, dst, message)`` sends in plan order.
+
+        The engines' read surface: the in-process engines iterate it
+        directly, and the sharded engine columnarises it per sender
+        shard (:mod:`repro.ncc.wire`) at the process boundary.  Plan
+        order is the delivery tiebreak everywhere, so the list must not
+        be reordered.
+        """
+        return self._sends
+
     def __len__(self) -> int:
         return len(self._sends)
 

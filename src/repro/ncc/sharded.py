@@ -8,19 +8,25 @@ shards, each owned by a persistent OS worker process, and every round
 runs as a two-phase barrier exchange:
 
 1. **Stage** — the parent routes the round's sends to the shard owning
-   each *sender*.  Workers validate their senders' sends against
-   shard-local replica knowledge (gating, word budgets, send caps),
-   stamp them, and bucket the survivors by the shard owning each
-   *receiver*.  Messages whose receiver lives in the same shard are
-   retained locally; cross-shard buckets travel back to the parent as
-   pickled batches.
+   each *sender*, shipping each shard's slice as one columnar wire
+   batch (:mod:`repro.ncc.wire`) rather than per-message pickled
+   objects.  Workers validate their senders' sends against shard-local
+   replica knowledge (gating, word budgets, send caps), stamp them, and
+   bucket the survivors by the shard owning each *receiver*.  Messages
+   whose receiver lives in the same shard are retained locally;
+   cross-shard buckets travel back to the parent as encoded entry
+   batches.
 2. **Exchange + deliver** — at the barrier the parent relays each
-   cross-shard bucket to the receiver's owner.  Workers merge their
-   retained and relayed messages per receiver in global plan order
-   (every staged entry carries its plan index), apply backlog-first FIFO
-   delivery under the receive cap (spilling in defer mode), update their
-   replica knowledge, and return the inboxes plus compact deltas
-   (knowledge gains, backlog consumption, spills, meters).
+   cross-shard bucket to the receiver's owner *without decoding it*
+   (strict-mode arrival counts read the blob's receiver column raw).
+   Workers merge their retained and relayed messages per receiver in
+   global plan order (every staged entry carries its plan index), apply
+   backlog-first FIFO delivery under the receive cap (spilling in defer
+   mode), update their replica knowledge, and return the inboxes plus
+   compact deltas (knowledge gains, backlog consumption, spills,
+   meters) — again as columnar batches; decoding re-interns message
+   kinds, so the ``msg()`` identity invariant survives the boundary by
+   construction.
 
 The parent then merges the per-shard inboxes in deterministic node
 order (shards are contiguous index ranges, so concatenating shard
@@ -41,22 +47,23 @@ meters match the reference loop exactly.  The differential, cap-fuzz
 and determinism suites enforce this for multiple shard counts.
 
 **Performance shape.**  Each simulated message crosses a process
-boundary at least twice (stage reply, inbox return), so at this
-simulator's message sizes the pickling tax exceeds the per-message
-validation work the shards parallelize — on few-core hosts the sharded
-engine trades throughput for the architecture.  ``benchmarks/
-bench_multiprocess.py`` records the honest sharded-vs-fast ratio by
-shard count; the engine's value is (a) the barrier-exchange execution
-model itself, mirroring how a real NCC deployment would run, and (b)
-scaling headroom for workloads whose per-round local computation
-dominates message volume.
+boundary at least twice (stage reply, inbox return).  The columnar
+codec cuts the per-crossing cost — pickling a handful of flat arrays
+instead of walking every ``Message`` object (``benchmarks/
+bench_multiprocess.py`` races the two transports on captured round
+batches) — but per-message Python work remains on both sides, so on
+few-core hosts the sharded engine still trades throughput for the
+architecture; the same benchmark records the honest sharded-vs-fast
+ratio by shard count.  The engine's value is (a) the barrier-exchange
+execution model itself, mirroring how a real NCC deployment would run,
+and (b) scaling headroom for workloads whose per-round local
+computation dominates message volume.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import os
-import sys
 import traceback
 import weakref
 from collections import Counter, deque
@@ -64,7 +71,16 @@ from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 from repro.ncc.config import EnforcementMode
 from repro.ncc.engine import ReferenceEngine
-from repro.ncc.message import Message, scalar_words_cached
+from repro.ncc.message import Message, scalar_words_cached, word_caches
+from repro.ncc.wire import (
+    decode_entries,
+    decode_grouped,
+    decode_id_groups,
+    encode_entries,
+    encode_grouped,
+    encode_id_groups,
+    entry_receivers,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.ncc.network import Network, RoundPlan
@@ -133,22 +149,25 @@ class _ShardState:
             self.deferred[v] = deque(
                 (m.words(self.word_bits), m) for m in tail
             )
-        # Word-count memoization (pure: word_bits is fixed for life).
-        self._int_words: Dict[int, int] = {}
-        self._scalar_words: Dict[Tuple[type, object], int] = {}
+        # Word-count memoization: the process-wide pair for this width
+        # (pure: word_bits is fixed for life).
+        self._int_words, self._scalar_words = word_caches(self.word_bits)
         # Same-shard staged messages retained between the two phases.
         self._local_staged: List[Tuple[int, int, int, Message]] = []
 
     # -- phase 1: validate + stage ---------------------------------- #
 
-    def stage(self, grants, sends):
+    def stage(self, grants, sends_blob):
         """Validate this shard's sends; bucket survivors by receiver shard.
 
-        Returns ``(violation, remote_buckets, local_counts)`` where
-        ``remote_buckets`` maps receiver-shard id -> staged entries
-        ``(plan_idx, dst, words, message)`` and ``local_counts`` lists
-        ``(dst, count)`` for messages retained in this shard.  Staging
-        mutates no replica state, so a violating round aborts cleanly.
+        ``sends_blob`` is the parent's columnar batch of
+        ``(plan_idx, src, dst, message)`` entries for this shard's
+        senders.  Returns ``(violation, remote_blobs, local_counts)``
+        where ``remote_blobs`` maps receiver-shard id -> an encoded
+        entry batch of ``(plan_idx, dst, words, message)`` and
+        ``local_counts`` lists ``(dst, count)`` for messages retained in
+        this shard.  Staging mutates no replica state, so a violating
+        round aborts cleanly.
         """
         known = self.known
         for u, v in grants:  # parent pre-filters to this shard's nodes
@@ -161,6 +180,10 @@ class _ShardState:
         local_counts: Counter = Counter()
         int_cache = self._int_words
         scalar_cache = self._scalar_words
+        # One word_caches() call per round keeps the shared caches'
+        # growth bound enforced on this writer path (the inserts below
+        # bypass it); the trim lives in repro/ncc/message.py.
+        word_caches(self.word_bits)
         word_bits = self.word_bits
         max_words = self.max_words
         shard_of = self.shard_of
@@ -168,7 +191,7 @@ class _ShardState:
         last_src = None
         known_to_src: Optional[set] = None
         per_sender: Counter = Counter()
-        for idx, src, dst, message in sends:
+        for idx, src, dst, message in decode_entries(sends_blob):
             if src != last_src:
                 known_to_src = known.get(src)
                 if known_to_src is None:
@@ -207,23 +230,30 @@ class _ShardState:
                 remote.setdefault(target, []).append((idx, dst, words, message))
         if per_sender and max(per_sender.values()) > self.send_cap:
             return (True, {}, ())
-        return (False, remote, tuple(local_counts.items()))
+        return (
+            False,
+            {target: encode_entries(bucket) for target, bucket in remote.items()},
+            tuple(local_counts.items()),
+        )
 
     # -- phase 2: barrier exchange + delivery ----------------------- #
 
-    def deliver(self, entries):
+    def deliver(self, relayed_blobs):
         """Merge relayed + retained messages and deliver to owned nodes.
 
+        ``relayed_blobs`` are the other shards' encoded entry batches
+        for this shard's receivers, relayed verbatim by the parent.
         Applies replica mutations immediately (the parent pre-checks the
         only phase-2 violation — strict receive caps — before relaying,
-        so this phase cannot fail).  Returns the per-receiver inboxes and
-        the compact deltas the parent mirrors.
+        so this phase cannot fail).  Returns the per-receiver inboxes
+        and the compact deltas the parent mirrors, as wire batches.
         """
         staged: Dict[int, List[Tuple[int, int, int, Message]]] = {}
         for entry in self._local_staged:
             staged.setdefault(entry[1], []).append(entry)
-        for entry in entries:
-            staged.setdefault(entry[1], []).append(entry)
+        for blob in relayed_blobs:
+            for entry in decode_entries(blob):
+                staged.setdefault(entry[1], []).append(entry)
         self._local_staged = []
 
         deferred = self.deferred
@@ -285,22 +315,25 @@ class _ShardState:
             gains.append((dst, gained))
 
         return (
-            inboxes,
-            gains,
+            encode_grouped(inboxes),
+            encode_id_groups(gains),
             backlog_takes,
-            spills,
+            encode_grouped(spills),
             messages_delivered,
             words_delivered,
             max_load,
         )
 
-    def sync(self, known, deferred) -> None:
+    def sync(self, known_blob, deferred_blob) -> None:
         """Replace this shard's replica from the parent's authoritative
-        state (after a violation fallback, or on ``Network.reset``)."""
-        self.known = {v: set(members) for v, members in known.items()}
+        state (after a violation fallback, or on ``Network.reset``).
+        Both sides of the resync travel as wire batches: an id-group
+        blob for knowledge, a grouped-message blob for backlogs."""
+        self.known = {v: set(members) for v, members in decode_id_groups(known_blob)}
+        word_bits = self.word_bits
         self.deferred = {
-            v: deque((m.words(self.word_bits), m) for m in tail)
-            for v, tail in deferred.items()
+            v: deque((m.words(word_bits), m) for m in tail)
+            for v, tail in decode_grouped(deferred_blob)
         }
         self._local_staged = []
 
@@ -476,14 +509,16 @@ class ShardedEngine:
         is always authoritative, so nothing is lost.
         """
         net = self.net
+        known = net.known
+        deferred = net._deferred
         try:
             for s, conn in enumerate(self._conns):
                 owned = self._owned[s]
-                known = {v: tuple(net.known[v]) for v in owned}
-                deferred = {
-                    v: list(net._deferred[v]) for v in owned if net._deferred.get(v)
-                }
-                conn.send(("sync", known, deferred))
+                known_blob = encode_id_groups((v, known[v]) for v in owned)
+                deferred_blob = encode_grouped(
+                    (v, deferred[v]) for v in owned if deferred.get(v)
+                )
+                conn.send(("sync", known_blob, deferred_blob))
         except OSError:
             self.close()
 
@@ -498,7 +533,7 @@ class ShardedEngine:
 
     def deliver(self, plan: "RoundPlan") -> Inboxes:
         net = self.net
-        sends = plan._sends
+        sends = plan.sends
         if not sends and not any(net._deferred.values()):
             # Quiescent barrier round: no IPC, just the meters.
             net.rounds += 1
@@ -526,7 +561,8 @@ class ShardedEngine:
 
         # Route sends to the shard owning each sender (plan order is
         # preserved per shard; entries carry their global plan index so
-        # receivers can re-merge in exact plan order).
+        # receivers can re-merge in exact plan order).  Each shard's
+        # slice ships as one columnar wire batch.
         per_shard: List[list] = [[] for _ in range(self.shards)]
         violation = False
         for idx, (src, dst, message) in enumerate(sends):
@@ -548,21 +584,24 @@ class ShardedEngine:
                     shard_grants[s].append((u, v))
             self._grants.clear()
         for s, conn in enumerate(conns):
-            conn.send(("round", shard_grants[s], per_shard[s]))
+            conn.send(("round", shard_grants[s], encode_entries(per_shard[s])))
         replies = [self._recv(conn) for conn in conns]
 
+        # Cross-shard blobs are relayed *encoded*: the strict-mode
+        # arrival count below reads each blob's receiver column raw, so
+        # the parent never materialises a relayed message.
         route: List[list] = [[] for _ in range(self.shards)]
         arrivals: Counter = Counter()
         strict = net.config.enforcement is EnforcementMode.STRICT
-        for shard_violation, remote_buckets, local_counts in replies:
+        for shard_violation, remote_blobs, local_counts in replies:
             if shard_violation:
                 violation = True
                 break
-            for target, entries in remote_buckets.items():
-                route[target].extend(entries)
+            for target, blob in remote_blobs.items():
+                route[target].append(blob)
                 if strict:
-                    for entry in entries:
-                        arrivals[entry[1]] += 1
+                    # Counter.update counts iterable elements in C.
+                    arrivals.update(entry_receivers(blob))
             if strict:
                 for dst, count in local_counts:
                     arrivals[dst] += count
@@ -588,21 +627,20 @@ class ShardedEngine:
 
         # Merge in shard order == simulator index order (contiguous
         # shards), and mirror every delta onto the parent's state.
+        # Decoding re-interns message kinds, so both the inboxes handed
+        # to protocol code and the backlog mirror's copies (a later
+        # violation fallback delivers those through the reference loop)
+        # satisfy the msg() identity invariant without a repair pass.
         known = net.known
         net_deferred = net._deferred
         inboxes = {}
         messages_delivered = 0
         words_delivered = 0
         max_load = 0
-        intern = sys.intern
-        for part, gains, backlog_takes, spills, msgs, words, load in deltas:
-            for dst, box in part:
-                # Restore the msg() interning invariant pickling broke:
-                # protocol code may compare kinds by identity.
-                for message in box:
-                    message.__dict__["kind"] = intern(message.kind)
+        for part_blob, gains_blob, backlog_takes, spills_blob, msgs, words, load in deltas:
+            for dst, box in decode_grouped(part_blob):
                 inboxes[dst] = box
-            for dst, gained in gains:
+            for dst, gained in decode_id_groups(gains_blob):
                 known_to_dst = known[dst]
                 known_to_dst.update(gained)
                 known_to_dst.discard(dst)
@@ -610,12 +648,7 @@ class ShardedEngine:
                 queue = net_deferred[dst]
                 for _ in range(taken):
                     queue.popleft()
-            for dst, tail in spills:
-                # The mirror's copies can reach protocol code too — a
-                # later violation fallback delivers them through the
-                # reference loop — so restore interning here as well.
-                for message in tail:
-                    message.__dict__["kind"] = intern(message.kind)
+            for dst, tail in decode_grouped(spills_blob):
                 net_deferred[dst].extend(tail)
             messages_delivered += msgs
             words_delivered += words

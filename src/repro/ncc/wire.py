@@ -1,0 +1,278 @@
+"""Columnar wire codec for cross-process message transport.
+
+The NCC model charges every message as ``O(log n)``-bit words, but the
+multiprocess layers were shipping each one as a pickled ``Message``
+object: per-object class dispatch, memo-table traffic and a fresh
+instance rebuild through the pickle machinery on the far side.  PR 4's
+profile showed that pickling tax dwarfing the validation work the shards
+parallelise.  This module replaces the per-object encoding with a
+*columnar* (struct-of-arrays) one — a batch of messages travels as one
+column per field:
+
+* an interned **kind table** (each distinct protocol tag once per batch)
+  plus a per-message index column — decoding re-interns the table once,
+  so every decoded message satisfies the ``msg()`` interning invariant
+  the engines rely on, which the pickle path had to repair by hand after
+  every exchange;
+* a **src column** and three ``int64`` **meta columns** for the entry
+  shapes (plan index / sender / receiver / word count, depending on the
+  path);
+* ragged **id and data columns**: one small tuple per message, pickled
+  natively (ints of any width, floats, bools, ``None`` and short strings
+  are all primitive pickle types, so payload *types* round-trip exactly
+  with no per-slot tagging).
+
+``multiprocessing`` still pickles the blob, but a column set is a
+handful of flat containers instead of a per-message object walk, and
+decoding rebuilds each message with a plain dict fill (no pickle
+protocol, no ``__init__``).  Decode materialises one independent
+``Message`` per entry: object *aliasing* across entries is not
+preserved (pickle's memo table preserved it), which is outside the plan
+contract anyway — a message submitted to a plan is engine-owned and
+protocols build one fresh ``msg()`` per send — and on such
+contract-violating plans the decoded behaviour matches the reference
+engine (per-send ``src``), not the fast engine's in-place stamping.
+
+**Measured, not assumed.**  A flat ``array('q')``-with-offsets layout
+for the id/data columns (plus a tagged scalar column for non-int
+payloads) was prototyped first and *lost* to this ragged layout at real
+batch sizes — cross-shard rounds average tens of messages, where the
+per-batch array construction and the per-element boxing that decode
+pays anyway (``Message`` fields are tuples of Python ints) outweigh the
+memcpy pickling of a dense column.  Dense ``array('q')`` columns are
+kept where they do win: the id-group shape below, whose knowledge
+resyncs ship thousands of bare ints that feed ``set()`` without ever
+materialising tuples.  ``benchmarks/bench_multiprocess.py`` races the
+shipped codec against per-object pickle on captured round batches and
+records the ratio (``transport_codec.speedup_vs_pickle``).
+
+Three shapes cover every process boundary in the repository:
+
+* **entry batches** (:func:`encode_entries` / :func:`decode_entries`):
+  three int meta columns + message columns, for the sharded engine's
+  routed sends ``(plan_idx, src, dst, message)`` and staged relays
+  ``(plan_idx, dst, words, message)``.  The receiver meta column of a
+  staged-relay blob is readable without decoding
+  (:func:`entry_receivers`) — the parent's strict-mode arrival count
+  never materialises a message.
+* **grouped messages** (:func:`encode_grouped` / :func:`decode_grouped`):
+  ``(key, [messages])`` groups, for returned inboxes, defer-mode spills
+  and backlog resyncs.
+* **id groups** (:func:`encode_id_groups` / :func:`decode_id_groups`):
+  ``(key, ids)`` groups as dense ``array('q')`` columns with offsets,
+  for knowledge gains and replica resyncs; a group whose
+  protocol-supplied ids exceed ``int64`` (or are not ints at all —
+  knowledge sets accept any hashable) falls back to a boxed side
+  table, so exotic payload ids transport exactly like the in-process
+  engines accept them.
+"""
+
+from __future__ import annotations
+
+import sys
+from array import array
+from typing import Iterable, List, Tuple
+
+from repro.ncc.message import Message
+
+#: The empty message-column set (shared; decode short-circuits on it).
+_EMPTY_COLS = ((), (), (), (), ())
+
+
+def _encode_messages(messages) -> tuple:
+    """The shared message columns of every wire shape.
+
+    ``dict.setdefault`` with ``len(kind_of)`` as the default builds the
+    interned-kind index in one comprehension: the first occurrence of a
+    kind claims the next table slot, repeats reuse it.
+    """
+    if not messages:
+        return _EMPTY_COLS
+    kind_of: dict = {}
+    setdefault = kind_of.setdefault
+    kind_idx = [setdefault(m.kind, len(kind_of)) for m in messages]
+    return (
+        tuple(kind_of),  # the kind table, in first-occurrence order
+        kind_idx,
+        [m.src for m in messages],
+        [m.ids for m in messages],
+        [m.data for m in messages],
+    )
+
+
+def _decode_messages(cols: tuple) -> List[Message]:
+    """Rebuild the message objects of one column set.
+
+    Kinds are re-interned here (once per table entry, not per message);
+    each message is a ``Message.__new__`` plus a plain dict fill — the
+    frozen-dataclass ``__init__``/``__setattr__`` machinery and the
+    pickle object protocol are both skipped.
+    """
+    kinds, kind_idx, srcs, ids_list, data_list = cols
+    if not kind_idx:
+        return []
+    table = [sys.intern(kind) for kind in kinds]
+    new = Message.__new__
+    messages: List[Message] = []
+    append = messages.append
+    for ki, src, ids, data in zip(kind_idx, srcs, ids_list, data_list):
+        message = new(Message)
+        inner = message.__dict__  # frozen dataclass: fill, don't setattr
+        inner["kind"] = table[ki]
+        inner["ids"] = ids
+        inner["data"] = data
+        inner["src"] = src
+        append(message)
+    return messages
+
+
+# ---------------------------------------------------------------------- #
+# Entry batches: three int meta columns + message columns                #
+# ---------------------------------------------------------------------- #
+
+
+def encode_entries(entries: Iterable[Tuple[int, int, int, Message]]) -> tuple:
+    """Encode ``(a, b, c, message)`` entries column-wise.
+
+    The meta columns are layout-agnostic ints; the sharded engine uses
+    ``(plan_idx, src, dst, ·)`` for routed sends and
+    ``(plan_idx, dst, words, ·)`` for staged relays.
+    """
+    if not isinstance(entries, (list, tuple)):
+        entries = list(entries)
+    if not entries:
+        return ((), (), (), _EMPTY_COLS)
+    col_a, col_b, col_c, messages = zip(*entries)
+    return (col_a, col_b, col_c, _encode_messages(messages))
+
+
+def decode_entries(blob: tuple) -> List[Tuple[int, int, int, Message]]:
+    """Rebuild the ``(a, b, c, message)`` entry tuples of one blob."""
+    col_a, col_b, col_c, cols = blob
+    return list(zip(col_a, col_b, col_c, _decode_messages(cols)))
+
+
+def entry_count(blob: tuple) -> int:
+    """Number of entries in a blob, without decoding it."""
+    return len(blob[0])
+
+
+def entry_receivers(blob: tuple) -> tuple:
+    """The ``b`` meta column — the receiver IDs of a staged-relay blob.
+
+    Readable without materialising a single message: the sharded
+    parent's strict-mode arrival count iterates this raw column.
+    """
+    return blob[1]
+
+
+# ---------------------------------------------------------------------- #
+# Grouped messages: (key, [messages]) groups                             #
+# ---------------------------------------------------------------------- #
+
+
+def encode_grouped(groups: Iterable[Tuple[int, Iterable[Message]]]) -> tuple:
+    """Encode ``(key, messages)`` groups (inboxes, spills, backlogs)."""
+    keys: List[int] = []
+    key_append = keys.append
+    offsets: List[int] = [0]
+    offset_append = offsets.append
+    messages: List[Message] = []
+    extend = messages.extend
+    for key, group in groups:
+        key_append(key)
+        extend(group)
+        offset_append(len(messages))
+    return (keys, offsets, _encode_messages(messages))
+
+
+def decode_grouped(blob: tuple) -> List[Tuple[int, List[Message]]]:
+    """Rebuild ``(key, [messages])`` groups in their encoded order."""
+    keys, offsets, cols = blob
+    messages = _decode_messages(cols)
+    return [
+        (key, messages[offsets[i] : offsets[i + 1]])
+        for i, key in enumerate(keys)
+    ]
+
+
+# ---------------------------------------------------------------------- #
+# Id groups: (key, ids) groups as dense int64 columns                    #
+# ---------------------------------------------------------------------- #
+
+
+def encode_id_groups(groups: Iterable[Tuple[int, Iterable[int]]]) -> tuple:
+    """Encode ``(key, ids)`` groups (knowledge gains, replica resyncs).
+
+    Dense ``array('q')`` columns with offsets: a knowledge resync ships
+    thousands of bare ints that the receiver pours straight into
+    ``set()``, so here the memcpy pickling of a flat array wins.  Keys
+    are simulator node IDs (bounded by the ID universe), but the *ids*
+    are protocol-supplied — ``Message.ids`` payloads are not bounded by
+    the universe, and a receiver legitimately "learns" whatever they
+    carry — so a group whose ids overflow ``int64`` falls back to a
+    boxed side table instead of crashing the exchange (the in-process
+    engines accept such ids, and the sharded engine must stay
+    bit-identical to them).
+    """
+    keys = array("q")
+    key_append = keys.append
+    offsets = array("q", (0,))
+    offset_append = offsets.append
+    flat = array("q")
+    extend = flat.extend
+    oversize = None  # group index -> (key, tuple(ids)); the boxed fallback
+    for key, ids in groups:
+        # The fallbacks below re-iterate ids (purity check, boxed
+        # tuple); a one-shot iterator would silently encode empty, so
+        # materialise anything that isn't a re-iterable container.
+        if type(ids) not in (tuple, list, set, frozenset):
+            ids = tuple(ids)
+        try:
+            key_append(key)
+        except (OverflowError, TypeError):
+            # Keys are node IDs from [1, n^c], but n^c outgrows int64
+            # for n beyond ~2 million at the default exponent: box the
+            # whole group (a 0 placeholder keeps the columns aligned).
+            key_append(0)
+            if oversize is None:
+                oversize = {}
+            oversize[len(keys) - 1] = (key, tuple(ids))
+            offset_append(len(flat))
+            continue
+        try:
+            extend(ids)
+        except (OverflowError, TypeError):
+            # Beyond int64, or not an int at all (the in-process
+            # engines accept any hashable id — knowledge is a plain
+            # set): box the group instead of crashing the exchange.
+            del flat[offsets[-1] :]  # drop the partial extend
+            if oversize is None:
+                oversize = {}
+            oversize[len(keys) - 1] = (key, tuple(ids))
+        else:
+            # array('q') silently coerces int *subclasses* (bool,
+            # IntEnum) to plain ints; exact types must survive the
+            # boundary, so such groups take the box too.  map/set keep
+            # the purity check at C speed.
+            if ids and set(map(type, ids)) != {int}:
+                del flat[offsets[-1] :]
+                if oversize is None:
+                    oversize = {}
+                oversize[len(keys) - 1] = (key, tuple(ids))
+        offset_append(len(flat))
+    return (keys, offsets, flat, oversize)
+
+
+def decode_id_groups(blob: tuple) -> List[Tuple[int, Iterable[int]]]:
+    """Rebuild ``(key, ids)`` groups; ids come back as ``array('q')``
+    slices (iterable of ints — feed them to ``set.update`` / ``set()``
+    directly), or as the original tuples for boxed oversize groups."""
+    keys, offsets, flat, oversize = blob
+    out = [
+        (key, flat[offsets[i] : offsets[i + 1]]) for i, key in enumerate(keys)
+    ]
+    if oversize:
+        for i, boxed in oversize.items():
+            out[i] = boxed
+    return out

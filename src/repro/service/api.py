@@ -16,7 +16,8 @@ so the CLI front ends can speak JSONL.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from array import array
+from dataclasses import dataclass, fields, replace
 from typing import Any, Dict, Mapping, Optional, Tuple
 
 from repro.ncc.config import NCCConfig, Variant
@@ -196,6 +197,11 @@ class RealizationRequest:
             raise ServiceError(f"'shards' must be an integer, got {self.shards!r}")
         if self.shards < 0:
             raise ServiceError("'shards' must be >= 0 (0 = engine default)")
+        if self.engine == "sharded" and self.shards > self.size:
+            raise ServiceError(
+                f"'shards' ({self.shards}) cannot exceed n ({self.size}): "
+                "the sharded engine partitions nodes across 1..n workers"
+            )
         if self.sort_fidelity not in ("full", "charged"):
             raise ServiceError(f"unknown sort_fidelity {self.sort_fidelity!r}")
         if self.kind == "tree" and self.tree_variant not in _TREE_VARIANTS:
@@ -252,6 +258,53 @@ class RealizationRequest:
             # engine; a stray value must not split the cache.
             neutral["shards"] = 0
         return replace(self, **neutral)
+
+    # ---------------------------------------------------------------- #
+    # Wire mapping (the process-drain boundary)                        #
+    # ---------------------------------------------------------------- #
+
+    _WIRE_KEYS = (
+        "kind", "request_id", "degrees", "scenario", "params", "n", "seed",
+        "engine", "sort_fidelity", "tree_variant", "model", "repairs",
+        "explicit_envelope", "max_rounds", "shards",
+    )
+    _DEGREES_SLOT = _WIRE_KEYS.index("degrees")
+
+    def to_wire(self) -> tuple:
+        """Compact positional envelope for the process-drain boundary.
+
+        The inline workload vector — the only request field that scales
+        with ``n`` — travels as an ``array('q')`` column (one memcpy for
+        ``pickle`` instead of a tuple of boxed ints); everything else is
+        a flat positional tuple, skipping the dataclass pickle protocol.
+        ``_WIRE_KEYS`` is the single source of the field order (asserted
+        against the dataclass fields at import time).
+        """
+        values = [getattr(self, key) for key in self._WIRE_KEYS]
+        slot = self._DEGREES_SLOT
+        if values[slot] is not None:
+            try:
+                values[slot] = array("q", values[slot])
+            except OverflowError:  # absurd but valid ints: ship boxed
+                pass
+        return tuple(values)
+
+    @classmethod
+    def from_wire(cls, wire: tuple) -> "RealizationRequest":
+        """Rebuild a request from :meth:`to_wire` output.
+
+        Trusts the sender — the parent validates and normalises before
+        shipping — so the frozen-dataclass ``__init__``/``__post_init__``
+        machinery is skipped entirely (a plain dict fill, like the
+        message codec's decode path).
+        """
+        self = cls.__new__(cls)
+        inner = self.__dict__
+        for key, value in zip(cls._WIRE_KEYS, wire, strict=True):
+            inner[key] = value
+        if inner["degrees"] is not None:
+            inner["degrees"] = tuple(inner["degrees"])
+        return self
 
     # ---------------------------------------------------------------- #
     # JSON mapping                                                     #
@@ -371,6 +424,25 @@ class RealizationResponse:
             self.error_code,
         )
 
+    _WIRE_KEYS = (
+        "request_id", "kind", "ok", "verdict", "num_edges", "rounds",
+        "simulated_rounds", "charged_rounds", "messages", "words", "detail",
+        "cached", "elapsed_sec", "error", "error_code",
+    )
+
+    def to_wire(self) -> tuple:
+        """Flat positional envelope for the process-drain return path."""
+        return tuple(getattr(self, key) for key in self._WIRE_KEYS)
+
+    @classmethod
+    def from_wire(cls, wire: tuple) -> "RealizationResponse":
+        """Rebuild a response from :meth:`to_wire` output (trusted)."""
+        self = cls.__new__(cls)
+        inner = self.__dict__
+        for key, value in zip(cls._WIRE_KEYS, wire, strict=True):
+            inner[key] = value
+        return self
+
     def to_dict(self) -> Dict[str, Any]:
         out: Dict[str, Any] = {
             "request_id": self.request_id,
@@ -398,6 +470,17 @@ class RealizationResponse:
         data = dict(payload)
         data["detail"] = tuple(sorted(dict(data.get("detail", ())).items()))
         return cls(**data)
+
+
+# The wire envelopes zip positional tuples against _WIRE_KEYS, and zip
+# truncates silently on skew — so the key tuples must track the
+# dataclass fields exactly.  Checked once, at import time.
+assert RealizationRequest._WIRE_KEYS == tuple(
+    f.name for f in fields(RealizationRequest)
+), "RealizationRequest._WIRE_KEYS drifted from the dataclass fields"
+assert RealizationResponse._WIRE_KEYS == tuple(
+    f.name for f in fields(RealizationResponse)
+), "RealizationResponse._WIRE_KEYS drifted from the dataclass fields"
 
 
 def error_response(

@@ -40,8 +40,16 @@ Three drain modes:
     drain.  A worker that dies mid-request (OOM-killed, crashed) fails
     that request with a typed ``WORKER_CRASHED`` error and the drain
     recovers on a fresh pool — one bad request cannot wedge the batch.
+    Requests and responses cross the boundary as compact wire envelopes
+    (``to_wire``/``from_wire``), not pickled dataclasses.
     ``benchmarks/bench_multiprocess.py`` records the process-vs-thread
     drain ratio.
+
+Beyond batch drains, ``mode="processes"`` executors expose an
+asynchronous :meth:`BatchExecutor.submit` (future per request, same
+cache/coalescing/crash semantics), which :func:`serve` uses to *stream*:
+requests are submitted as their lines arrive and responses are emitted,
+in input order, as futures complete.
 """
 
 from __future__ import annotations
@@ -53,7 +61,14 @@ import os
 import threading
 import time
 from collections import OrderedDict
-from concurrent.futures import BrokenExecutor, ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import (
+    BrokenExecutor,
+    CancelledError,
+    Future,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+)
+from queue import Empty, Queue
 from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from repro.ncc.errors import RoundBudgetExceeded
@@ -73,6 +88,12 @@ from repro.service.registry import (
 )
 
 EXECUTOR_MODES = ("sequential", "threads", "processes")
+
+
+class _ExecutorClosed(RuntimeError):
+    """Raised by ``_ensure_process_pool`` when ``close()`` won a race
+    against a pool (re)build — the caller envelopes instead of leaking a
+    pool behind a closed executor."""
 
 
 def resolve_workload(
@@ -240,6 +261,18 @@ def _process_worker_init(use_pool: bool, cache_scenarios: bool) -> None:
     _WORKER_CACHE_SCENARIOS = cache_scenarios
 
 
+def _process_worker_run_wire(wire: tuple) -> tuple:
+    """Wire-form shim around :func:`_process_worker_run`.
+
+    The process boundary ships compact positional envelopes
+    (``RealizationRequest.to_wire`` / ``RealizationResponse.to_wire``)
+    instead of pickled dataclasses: the inline workload vector crosses
+    as one ``array('q')`` memcpy and neither side pays the dataclass
+    pickle protocol.
+    """
+    return _process_worker_run(RealizationRequest.from_wire(wire)).to_wire()
+
+
 def _process_worker_run(request: RealizationRequest) -> RealizationResponse:
     """One request on this worker's warm state (the in-worker ``handle``)."""
     if request.request_id in _CRASH_REQUEST_IDS:  # pragma: no cover - test seam
@@ -327,10 +360,23 @@ class BatchExecutor:
         self._response_cache: "OrderedDict[RealizationRequest, RealizationResponse]" = (
             OrderedDict()
         )
-        # One lock guards the cache, the in-flight table and the counters
-        # (threads mode).
+        # One lock guards the cache, the in-flight tables and the counters
+        # (threads mode + the async submit path).
         self._cache_lock = threading.Lock()
         self._in_flight: Dict[RealizationRequest, threading.Event] = {}
+        # submit(): key -> followers awaiting the in-flight execution.
+        self._in_flight_async: Dict[
+            RealizationRequest, List[Tuple[RealizationRequest, Future]]
+        ] = {}
+        # Guards process-pool creation/replacement and the closed flag:
+        # the async submit path reaches _ensure_process_pool from the
+        # streaming reader thread and from pool callback threads
+        # concurrently.  ``_closed`` distinguishes "close() was called"
+        # from "pool not built yet" so in-flight crash retries cannot
+        # resurrect a pool behind a closed executor; the public entry
+        # points (run/submit) re-open.
+        self._pool_lock = threading.Lock()
+        self._closed = False
         self._process_pool: Optional[ProcessPoolExecutor] = None
         self._process_pool_broken = False
         self.requests_handled = 0
@@ -352,9 +398,16 @@ class BatchExecutor:
     # ---------------------------------------------------------------- #
 
     def close(self) -> None:
-        """Shut down the persistent process pool (idempotent)."""
-        pool, self._process_pool = self._process_pool, None
-        self._process_pool_broken = False
+        """Shut down the persistent process pool (idempotent).
+
+        In-flight async submissions resolve with an "executor closed"
+        error envelope; a later ``run``/``submit`` re-opens on a fresh
+        pool.
+        """
+        with self._pool_lock:
+            self._closed = True
+            pool, self._process_pool = self._process_pool, None
+            self._process_pool_broken = False
         if pool is not None:
             pool.shutdown(wait=True, cancel_futures=True)
 
@@ -365,18 +418,25 @@ class BatchExecutor:
         self.close()
 
     def _ensure_process_pool(self) -> ProcessPoolExecutor:
-        if self._process_pool is not None and not self._process_pool_broken:
+        with self._pool_lock:
+            if self._closed:
+                # Checked under the same lock acquisition that would
+                # build the pool: a close() that lands between a
+                # caller's earlier closed-check and this build must not
+                # end with a live pool behind a closed executor.
+                raise _ExecutorClosed("executor is closed")
+            if self._process_pool is not None and not self._process_pool_broken:
+                return self._process_pool
+            if self._process_pool is not None:  # broken: replace it
+                self._process_pool.shutdown(wait=False, cancel_futures=True)
+            self._process_pool = ProcessPoolExecutor(
+                max_workers=self.workers,
+                mp_context=fork_context(),
+                initializer=_process_worker_init,
+                initargs=(self.pool is not None, self.cache_scenarios),
+            )
+            self._process_pool_broken = False
             return self._process_pool
-        if self._process_pool is not None:  # broken: replace it
-            self._process_pool.shutdown(wait=False, cancel_futures=True)
-        self._process_pool = ProcessPoolExecutor(
-            max_workers=self.workers,
-            mp_context=fork_context(),
-            initializer=_process_worker_init,
-            initargs=(self.pool is not None, self.cache_scenarios),
-        )
-        self._process_pool_broken = False
-        return self._process_pool
 
     # ---------------------------------------------------------------- #
     # Response cache (LRU) and coalescing                              #
@@ -509,6 +569,260 @@ class BatchExecutor:
         return self.handle(parsed)
 
     # ---------------------------------------------------------------- #
+    # Asynchronous single requests (the streaming serve front end)     #
+    # ---------------------------------------------------------------- #
+
+    def submit(self, request: RealizationRequest) -> "Future":
+        """One request, asynchronously: a ``Future[RealizationResponse]``.
+
+        The streaming ``serve --mode processes`` front end submits each
+        request as its line arrives and emits responses as the futures
+        complete.  Semantics mirror :meth:`handle` /
+        :meth:`_run_processes`: validation failures and cache hits
+        resolve immediately; identical concurrent requests coalesce onto
+        one in-flight execution (followers resolve to ``cached=True``
+        copies; failures are never shared — each follower then gets its
+        own attempt); a crashed worker earns its request a typed
+        ``WORKER_CRASHED`` error after one retry on a fresh pool.  In
+        ``sequential``/``threads`` mode the request executes in the
+        calling thread and an already-completed future comes back.
+        """
+        out: Future = Future()
+        if self.mode != "processes":
+            out.set_result(self.handle(request))
+            return out
+        with self._pool_lock:
+            self._closed = False  # public entry re-opens after close()
+        return self._submit(request, out)
+
+    def _submit(self, request: RealizationRequest, out: "Future") -> "Future":
+        """The :meth:`submit` body without the re-open: internal callers
+        (the streaming serve pump) must not resurrect a closed executor
+        — a racing ``close()`` resolves their futures with the closed
+        envelope instead."""
+        try:
+            request.validate()
+        except ServiceError as exc:
+            with self._cache_lock:
+                self.requests_handled += 1
+            out.set_result(error_response(request.request_id, request.kind, str(exc)))
+            return out
+        key = request.cache_key() if self.cache_responses else None
+        if key is not None:
+            hit = self._cache_lookup(key, request)
+            if hit is not None:
+                out.set_result(hit)
+                return out
+            with self._cache_lock:
+                followers = self._in_flight_async.get(key)
+                if followers is not None:
+                    followers.append((request, out))
+                    return out
+                self._in_flight_async[key] = []
+        self._submit_async(request, key, out, retried=False)
+        return out
+
+    def _submit_async(
+        self,
+        request: RealizationRequest,
+        key: Optional[RealizationRequest],
+        out: "Future",
+        retried: bool,
+    ) -> None:
+        """Ship one leader job to the worker pool (wire-encoded)."""
+        pool = None
+        try:
+            # _ensure_process_pool re-checks the closed flag under the
+            # pool lock, so a crash retry (or follower resubmission)
+            # racing close() lands in the _ExecutorClosed envelope
+            # below instead of rebuilding a pool nothing would ever
+            # shut down.
+            pool = self._ensure_process_pool()
+            future = pool.submit(_process_worker_run_wire, request.to_wire())
+        except _ExecutorClosed:
+            self._finish_async(
+                request,
+                key,
+                out,
+                error_response(
+                    request.request_id,
+                    request.kind,
+                    "executor closed while this request was in flight",
+                ),
+                resubmit_followers=False,
+            )
+            return
+        except BrokenExecutor:
+            # The pool broke under a concurrent submission before its
+            # crasher's callback flagged it; retry on a fresh pool like
+            # the batch drain instead of failing an innocent request.
+            # Same pool-identity guard as _async_done: only flag the
+            # pool this submission actually used, never a healthy
+            # replacement another thread already built.
+            with self._pool_lock:
+                if pool is not None and self._process_pool is pool:
+                    self._process_pool_broken = True
+            with self._cache_lock:  # same accounting as the other paths
+                self.worker_crashes += 1
+            if not retried:
+                self._submit_async(request, key, out, retried=True)
+            else:
+                self._finish_async(
+                    request,
+                    key,
+                    out,
+                    error_response(
+                        request.request_id,
+                        request.kind,
+                        "worker process died while executing this request",
+                        code="WORKER_CRASHED",
+                    ),
+                )
+            return
+        except Exception as exc:
+            self._finish_async(
+                request,
+                key,
+                out,
+                error_response(
+                    request.request_id,
+                    request.kind,
+                    f"process drain failure: {type(exc).__name__}: {exc}",
+                ),
+            )
+            return
+        future.add_done_callback(
+            lambda done: self._async_done(done, request, key, out, retried, pool)
+        )
+
+    def _async_done(self, future, request, key, out, retried, pool) -> None:
+        """Completion hook (runs on the pool's callback thread)."""
+        try:
+            response = RealizationResponse.from_wire(future.result())
+        except (BrokenExecutor, CancelledError):
+            # The dead worker broke the whole pool; mirror the batch
+            # drain's recovery — one retry on a fresh pool, then a typed
+            # failure for the (deterministic) crasher.  CancelledError
+            # (a concurrent pool replacement cancels its pending
+            # futures) is a BaseException: without catching it here the
+            # response future would never resolve and a streaming
+            # client would hang forever.
+            with self._pool_lock:
+                closed = self._closed
+                # Only flag the pool this future actually ran on:
+                # several victims of one crash race through here, and a
+                # stale flag would tear down the healthy replacement
+                # pool (cancelling innocent retries into spurious
+                # WORKER_CRASHED responses).
+                if not closed and self._process_pool is pool:
+                    self._process_pool_broken = True
+            if closed:
+                # close() cancelled the in-flight work; don't resurrect
+                # a fresh pool for it — and don't resubmit coalesced
+                # followers either (they would rebuild a pool that
+                # nothing ever shuts down again).
+                self._finish_async(
+                    request,
+                    key,
+                    out,
+                    error_response(
+                        request.request_id,
+                        request.kind,
+                        "executor closed while this request was in flight",
+                    ),
+                    resubmit_followers=False,
+                )
+                return
+            with self._cache_lock:
+                self.worker_crashes += 1
+            if not retried:
+                self._submit_async(request, key, out, retried=True)
+                return
+            response = error_response(
+                request.request_id,
+                request.kind,
+                "worker process died while executing this request",
+                code="WORKER_CRASHED",
+            )
+        except Exception as exc:  # transport/pickling failure
+            response = error_response(
+                request.request_id,
+                request.kind,
+                f"process drain failure: {type(exc).__name__}: {exc}",
+            )
+        self._finish_async(request, key, out, response)
+
+    def _finish_async(
+        self, request, key, out, response, resubmit_followers: bool = True
+    ) -> None:
+        """Resolve the leader, fan out to followers, maintain caches.
+
+        The follower pop, the counters and the cache store share one
+        critical section: a window between pop and store would let an
+        identical request slip past both the cache and the in-flight
+        table and re-execute from scratch.  Future resolution happens
+        outside the lock.
+        """
+        followers: List[Tuple[RealizationRequest, Future]] = []
+        if response.verdict != "ERROR":
+            with self._cache_lock:
+                if key is not None:
+                    followers = self._in_flight_async.pop(key, [])
+                self.requests_handled += 1 + len(followers)
+                self.coalesced_hits += len(followers)
+                if key is not None:
+                    self._cache_store_locked(key, response)
+            out.set_result(
+                dataclasses.replace(response, request_id=request.request_id)
+            )
+            for follower_request, follower_out in followers:
+                follower_out.set_result(
+                    dataclasses.replace(
+                        response,
+                        request_id=follower_request.request_id,
+                        cached=True,
+                        elapsed_sec=0.0,
+                    )
+                )
+        else:
+            with self._cache_lock:
+                if key is not None:
+                    followers = self._in_flight_async.pop(key, [])
+                # Followers resolved here (executor closed) still count
+                # as handled — stats must agree with the number of
+                # responses actually emitted; resubmitted followers are
+                # counted by their own completions instead.
+                self.requests_handled += 1 + (
+                    len(followers) if not resubmit_followers else 0
+                )
+            out.set_result(
+                dataclasses.replace(response, request_id=request.request_id)
+            )
+            if not resubmit_followers:
+                # Executor closed: followers get the leader's envelope
+                # instead of an attempt that would rebuild the pool.
+                for follower_request, follower_out in followers:
+                    follower_out.set_result(
+                        dataclasses.replace(
+                            response, request_id=follower_request.request_id
+                        )
+                    )
+                return
+            # Failures are never shared (matching the batch drain): each
+            # coalesced follower gets its own independent attempt.  The
+            # retry runs with key=None — fully detached from the
+            # in-flight table, so an orphan completion can never pop
+            # (and steal) the follower list of a *newer* leader that
+            # registered the same key in the meantime.  The detached run
+            # skips the response cache; by determinism a follower of a
+            # failed leader almost always fails too, and errors are
+            # never cached anyway.
+            for follower_request, follower_out in followers:
+                self._submit_async(
+                    follower_request, None, follower_out, retried=False
+                )
+
+    # ---------------------------------------------------------------- #
     # Batches                                                          #
     # ---------------------------------------------------------------- #
 
@@ -534,6 +848,8 @@ class BatchExecutor:
         response cache, so a process drain is field-identical to a
         sequential one.
         """
+        with self._pool_lock:
+            self._closed = False  # public entry re-opens after close()
         responses: List[Optional[RealizationResponse]] = [None] * len(batch)
         jobs: List[Tuple[List[int], RealizationRequest]] = []
         job_keys: List[Optional[RealizationRequest]] = []
@@ -618,16 +934,33 @@ class BatchExecutor:
         """
         if not jobs:
             return []
-        pool = self._ensure_process_pool()
-        futures = [pool.submit(_process_worker_run, request) for _, request in jobs]
+        try:
+            pool = self._ensure_process_pool()
+        except _ExecutorClosed:
+            return [
+                error_response(
+                    request.request_id,
+                    request.kind,
+                    "executor closed while this request was in flight",
+                )
+                for _, request in jobs
+            ]
+        futures = [
+            pool.submit(_process_worker_run_wire, request.to_wire())
+            for _, request in jobs
+        ]
         outcomes: List[Optional[RealizationResponse]] = [None] * len(jobs)
         retry: List[int] = []
         for j, future in enumerate(futures):
             request = jobs[j][1]
             try:
-                outcomes[j] = future.result()
+                outcomes[j] = RealizationResponse.from_wire(future.result())
             except BrokenExecutor:
-                self._process_pool_broken = True
+                with self._pool_lock:
+                    # Pool-identity guard (see _async_done): never flag
+                    # a replacement pool another thread already built.
+                    if self._process_pool is pool:
+                        self._process_pool_broken = True
                 retry.append(j)
             except Exception as exc:  # transport/pickling failure
                 outcomes[j] = error_response(
@@ -640,11 +973,23 @@ class BatchExecutor:
                 self.worker_crashes += 1
         for j in retry:
             request = jobs[j][1]
-            pool = self._ensure_process_pool()
             try:
-                outcomes[j] = pool.submit(_process_worker_run, request).result()
+                pool = self._ensure_process_pool()
+            except _ExecutorClosed:
+                outcomes[j] = error_response(
+                    request.request_id,
+                    request.kind,
+                    "executor closed while this request was in flight",
+                )
+                continue
+            try:
+                outcomes[j] = RealizationResponse.from_wire(
+                    pool.submit(_process_worker_run_wire, request.to_wire()).result()
+                )
             except BrokenExecutor:
-                self._process_pool_broken = True
+                with self._pool_lock:
+                    if self._process_pool is pool:
+                        self._process_pool_broken = True
                 with self._cache_lock:
                     self.worker_crashes += 1
                 outcomes[j] = error_response(
@@ -713,6 +1058,12 @@ def parse_request_line(line: str):
     return parse_request_payload(payload)
 
 
+#: In-flight window of the streaming serve loop: how many submitted-but-
+#: unemitted requests the reader thread may run ahead by before it blocks
+#: (backpressure for clients that pipe unbounded request streams).
+SERVE_STREAM_WINDOW = 256
+
+
 def serve(
     in_stream: io.TextIOBase,
     out_stream: io.TextIOBase,
@@ -724,9 +1075,19 @@ def serve(
     keeps serving).  Returns the number of responses emitted, including
     parse-error envelopes (``executor.requests_handled`` counts only the
     requests that reached the executor) — the loop ends at EOF.
+
+    With a ``mode="processes"`` executor the loop *streams*: a reader
+    thread parses lines and submits each request to the worker pool as
+    it arrives (:meth:`BatchExecutor.submit`), while the calling thread
+    emits responses in input order as their futures complete.  A client
+    that writes one line and waits sees its response without closing
+    stdin; a client that pipelines N lines gets the pool's parallelism.
+    Other modes handle each line synchronously, as before.
     """
     if executor is None:
         executor = BatchExecutor(pool=NetworkPool())
+    if executor.mode == "processes":
+        return _serve_streaming(in_stream, out_stream, executor)
     handled = 0
     for line in in_stream:
         line = line.strip()
@@ -740,6 +1101,79 @@ def serve(
         out_stream.write(json.dumps(response.to_dict()) + "\n")
         out_stream.flush()
         handled += 1
+    return handled
+
+
+def _serve_streaming(
+    in_stream: io.TextIOBase,
+    out_stream: io.TextIOBase,
+    executor: BatchExecutor,
+) -> int:
+    """The incremental drain behind ``serve --mode processes``.
+
+    Emission order is input order (deterministic per request id): a
+    response is written as soon as its future completes *and* every
+    earlier response has been written.  The bounded queue gives
+    backpressure — the reader stops ``SERVE_STREAM_WINDOW`` requests
+    ahead of the writer.
+    """
+    queue: "Queue" = Queue(maxsize=SERVE_STREAM_WINDOW)
+    reader_failure: List[BaseException] = []
+    stop = threading.Event()
+
+    def pump() -> None:
+        try:
+            for line in in_stream:
+                if stop.is_set():  # writer died: stop submitting
+                    break
+                line = line.strip()
+                if not line:
+                    continue
+                parsed = parse_request_line(line)
+                if isinstance(parsed, RealizationResponse):
+                    queue.put(parsed)  # parse error: already a response
+                else:
+                    # the non-reopening entry: a racing close() must
+                    # resolve this future, not resurrect the pool
+                    queue.put(executor._submit(parsed, Future()))
+        except BaseException as exc:  # re-raised on the caller's thread
+            reader_failure.append(exc)
+        finally:
+            queue.put(None)  # EOF sentinel (also on reader failure)
+
+    reader = threading.Thread(target=pump, name="serve-stream-reader", daemon=True)
+    reader.start()
+    handled = 0
+    try:
+        while True:
+            item = queue.get()
+            if item is None:
+                break
+            response = item.result() if isinstance(item, Future) else item
+            out_stream.write(json.dumps(response.to_dict()) + "\n")
+            out_stream.flush()
+            handled += 1
+    except BaseException:
+        # Writer failed (e.g. BrokenPipeError: the client closed its
+        # read end).  Signal the reader to stop submitting and free the
+        # bounded queue so a pump blocked in put() can proceed, then
+        # propagate immediately — without joining or block-draining: a
+        # reader blocked on input that never arrives would stall either
+        # forever (it is a daemon thread and retires at its next line
+        # or at EOF).
+        stop.set()
+        try:
+            while True:
+                queue.get_nowait()
+        except Empty:
+            pass
+        raise
+    reader.join()
+    if reader_failure:
+        # A dying reader must not masquerade as clean EOF — the
+        # synchronous modes propagate stream failures to the caller, so
+        # the streaming mode does too (after emitting what completed).
+        raise reader_failure[0]
     return handled
 
 

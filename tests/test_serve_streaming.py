@@ -1,0 +1,374 @@
+"""Streaming ``serve --mode processes``, the async submit API, and the
+shard-count validation satellites.
+
+The acceptance property for streaming is *incrementality*: a client that
+writes one line and then blocks on the response must see it without
+closing stdin (no batch-drain buffering), while emission order stays the
+input order.  The tests drive ``serve`` from a writer thread that
+interleaves writes with blocking reads.  The streams are queue-backed
+rather than OS pipes: fork-started pool workers inherit every open fd of
+this *test* process, including a pipe's write end, which would keep the
+in-process serve loop from ever seeing EOF (in production the write end
+lives in the client process, so EOF works — the CI smoke step drives the
+real ``python -m repro serve`` over real pipes).
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import queue
+import threading
+
+import pytest
+
+import repro.service.executor as executor_module
+from repro.ncc.config import NCCConfig
+from repro.service import (
+    BatchExecutor,
+    NetworkPool,
+    RealizationRequest,
+    ServiceError,
+    default_registry,
+    serve,
+)
+
+HAS_FORK = "fork" in multiprocessing.get_all_start_methods()
+
+
+def req(kind="degree_implicit", scenario="regular", n=32, seed=0, **kw):
+    return RealizationRequest(kind=kind, scenario=scenario, n=n, seed=seed, **kw)
+
+
+def line(request_id, n=16, seed=1, kind="degree_implicit", scenario="regular"):
+    return json.dumps(
+        {"request_id": request_id, "kind": kind, "scenario": scenario,
+         "n": n, "seed": seed}
+    )
+
+
+class _LineSource:
+    """A blocking line iterator the test feeds; ends when closed."""
+
+    _EOF = object()
+
+    def __init__(self):
+        self._lines: "queue.Queue" = queue.Queue()
+
+    def put(self, text: str) -> None:
+        self._lines.put(text + "\n")
+
+    def close(self) -> None:
+        self._lines.put(self._EOF)
+
+    def __iter__(self):
+        return self
+
+    def __next__(self):
+        item = self._lines.get()
+        if item is self._EOF:
+            raise StopIteration
+        return item
+
+
+class _LineSink:
+    """Collects ``write``/``flush`` output as complete lines."""
+
+    def __init__(self):
+        self.lines: "queue.Queue" = queue.Queue()
+        self._buffer = ""
+
+    def write(self, text: str) -> None:
+        self._buffer += text
+        while "\n" in self._buffer:
+            line_text, self._buffer = self._buffer.split("\n", 1)
+            self.lines.put(line_text)
+
+    def flush(self) -> None:
+        pass
+
+
+class _ServeHarness:
+    """``serve`` on queue-backed streams, driven from the test thread."""
+
+    def __init__(self, executor):
+        self.source = _LineSource()
+        self.sink = _LineSink()
+        self.handled = None
+
+        def run():
+            self.handled = serve(self.source, self.sink, executor)
+
+        self.thread = threading.Thread(target=run, daemon=True)
+        self.thread.start()
+
+    def send(self, text):
+        self.source.put(text)
+
+    def recv(self, timeout=120):
+        return json.loads(self.sink.lines.get(timeout=timeout))
+
+    def finish(self, timeout=60):
+        self.source.close()
+        self.thread.join(timeout=timeout)
+        assert not self.thread.is_alive(), "serve loop failed to end at EOF"
+        return self.handled
+
+
+@pytest.fixture()
+def processes_executor():
+    executor = BatchExecutor(pool=NetworkPool(), registry=default_registry(),
+                             mode="processes", workers=2)
+    yield executor
+    executor.close()
+
+
+class TestStreamingServe:
+    def test_interleaved_write_read_cycle(self, processes_executor):
+        """One line in, its response out, stdin still open — repeated."""
+        harness = _ServeHarness(processes_executor)
+        for i in range(3):
+            harness.send(line(f"r{i}", seed=i))
+            response = harness.recv()  # must arrive before the next write
+            assert response["request_id"] == f"r{i}"
+            assert response["verdict"] == "REALIZED"
+        assert harness.finish() == 3
+
+    def test_pipelined_lines_emit_in_input_order(self, processes_executor):
+        """A burst of lines (slow first) still comes back in input order."""
+        harness = _ServeHarness(processes_executor)
+        harness.send(line("slow", n=64, seed=5))  # largest => slowest
+        for i in range(3):
+            harness.send(line(f"q{i}", n=12, seed=i))
+        got = [harness.recv()["request_id"] for _ in range(4)]
+        assert got == ["slow", "q0", "q1", "q2"]
+        assert harness.finish() == 4
+
+    def test_parse_errors_interleave_without_stalling(self, processes_executor):
+        harness = _ServeHarness(processes_executor)
+        harness.send("this is not json")
+        bad = harness.recv()
+        assert bad["verdict"] == "ERROR" and "bad JSON" in bad["error"]
+        harness.send(line("after"))
+        assert harness.recv()["request_id"] == "after"
+        assert harness.finish() == 2
+
+    def test_repeated_requests_hit_the_parent_cache(self, processes_executor):
+        harness = _ServeHarness(processes_executor)
+        harness.send(line("first", seed=9))
+        first = harness.recv()
+        harness.send(line("second", seed=9))
+        second = harness.recv()
+        assert harness.finish() == 2
+        assert not first["cached"] and second["cached"]
+        fields = lambda r: {k: v for k, v in r.items()
+                            if k not in ("request_id", "cached", "elapsed_sec")}
+        assert fields(first) == fields(second)
+
+    @pytest.mark.skipif(not HAS_FORK, reason="crash probe needs fork inheritance")
+    def test_worker_crash_mid_stream_is_typed_and_recovers(self):
+        executor_module._CRASH_REQUEST_IDS = frozenset({"boom"})
+        executor = BatchExecutor(pool=NetworkPool(), registry=default_registry(),
+                                 cache_responses=False, mode="processes",
+                                 workers=2)
+        try:
+            harness = _ServeHarness(executor)
+            harness.send(line("ok0", seed=1))
+            assert harness.recv()["verdict"] == "REALIZED"
+            harness.send(line("boom", seed=99))
+            crashed = harness.recv()
+            assert crashed["verdict"] == "ERROR"
+            assert crashed["error_code"] == "WORKER_CRASHED"
+            harness.send(line("ok1", seed=2))  # the stream keeps serving
+            assert harness.recv()["verdict"] == "REALIZED"
+            assert harness.finish() == 3
+            assert executor.stats()["worker_crashes"] >= 1
+        finally:
+            executor_module._CRASH_REQUEST_IDS = frozenset()
+            executor.close()
+
+    def test_reader_failure_propagates_not_silent_eof(self, processes_executor):
+        """A dying input stream must raise from serve(), as the
+        synchronous modes do — not masquerade as a clean EOF."""
+
+        class _ExplodingSource(_LineSource):
+            def __next__(self):
+                item = self._lines.get()
+                if item is self._EOF:
+                    raise UnicodeDecodeError("utf-8", b"", 0, 1, "corrupt stream")
+                return item
+
+        source = _ExplodingSource()
+        sink = _LineSink()
+        outcome = []
+
+        def run():
+            try:
+                serve(source, sink, processes_executor)
+                outcome.append("returned")
+            except UnicodeDecodeError:
+                outcome.append("raised")
+
+        thread = threading.Thread(target=run, daemon=True)
+        thread.start()
+        source.put(line("pre-failure"))
+        assert json.loads(sink.lines.get(timeout=120))["request_id"] == "pre-failure"
+        source.close()  # the exploding source raises instead of ending
+        thread.join(timeout=60)
+        assert outcome == ["raised"]
+
+    def test_sequential_mode_unchanged(self):
+        """Non-process executors keep the synchronous line loop."""
+        import io
+
+        executor = BatchExecutor(pool=NetworkPool(), registry=default_registry())
+        out = io.StringIO()
+        handled = serve(io.StringIO(line("a") + "\n" + line("b") + "\n"), out, executor)
+        assert handled == 2
+        ids = [json.loads(text)["request_id"] for text in out.getvalue().splitlines()]
+        assert ids == ["a", "b"]
+
+
+class TestSubmitApi:
+    def test_validation_and_cache_resolve_immediately(self, processes_executor):
+        bad = processes_executor.submit(
+            RealizationRequest(kind="nope", degrees=(2, 2), request_id="bad")
+        )
+        assert bad.done() and bad.result().verdict == "ERROR"
+        first = processes_executor.submit(req(seed=3, request_id="a")).result()
+        assert first.verdict == "REALIZED" and not first.cached
+        hit = processes_executor.submit(req(seed=3, request_id="b"))
+        assert hit.done()  # cache hit: resolved synchronously
+        assert hit.result().cached and hit.result().request_id == "b"
+
+    def test_concurrent_identical_submits_share_one_execution(
+        self, processes_executor
+    ):
+        futures = [
+            processes_executor.submit(req(seed=11, n=48, request_id=f"c{i}"))
+            for i in range(4)
+        ]
+        responses = [future.result(timeout=120) for future in futures]
+        assert len({r.fingerprint() for r in responses}) == 1
+        assert [r.request_id for r in responses] == [f"c{i}" for i in range(4)]
+        assert sum(1 for r in responses if not r.cached) == 1
+        stats = processes_executor.stats()
+        # Followers either coalesced onto the in-flight execution or (if
+        # the leader finished first) hit the cache; the counters are
+        # disjoint and must account for all three.
+        assert stats["coalesced_hits"] + stats["response_cache_hits"] == 3
+
+    def test_sequential_submit_returns_completed_future(self):
+        executor = BatchExecutor(pool=NetworkPool(), registry=default_registry())
+        future = executor.submit(req(seed=1, request_id="sync"))
+        assert future.done() and future.result().verdict == "REALIZED"
+
+    def test_close_with_in_flight_requests_resolves_their_futures(self):
+        """close() cancels queued work; every handed-out future must
+        still resolve (an unresolved future would hang the stream)."""
+        executor = BatchExecutor(pool=NetworkPool(), registry=default_registry(),
+                                 cache_responses=False, mode="processes",
+                                 workers=1)
+        futures = [
+            executor.submit(req(seed=i, n=64, request_id=f"f{i}"))
+            for i in range(4)
+        ]
+        executor.close()
+        responses = [future.result(timeout=120) for future in futures]
+        assert all(r is not None for r in responses)
+        for r in responses:  # completed before the cut, or enveloped
+            assert r.verdict in ("REALIZED", "ERROR")
+
+    def test_close_with_coalesced_followers_does_not_resurrect_pool(self):
+        """Followers of a leader cancelled by close() must be enveloped,
+        not resubmitted — resubmission would silently rebuild a worker
+        pool that nothing ever shuts down again."""
+        executor = BatchExecutor(pool=NetworkPool(), registry=default_registry(),
+                                 mode="processes", workers=1)
+        # Identical requests: one leader in flight, the rest coalesce.
+        futures = [
+            executor.submit(req(seed=7, n=64, request_id=f"c{i}"))
+            for i in range(4)
+        ]
+        executor.close()
+        responses = [future.result(timeout=120) for future in futures]
+        assert all(r is not None for r in responses)
+        assert executor._process_pool is None  # nothing resurrected it
+        executor.close()  # still idempotent
+
+
+class TestWordCacheBound:
+    def test_shared_caches_clear_beyond_limit(self, monkeypatch):
+        import repro.ncc.message as message_module
+
+        int_cache, scalar_cache = message_module.word_caches(48)
+        int_cache.clear()
+        int_cache.update({i: 1 for i in range(10)})
+        monkeypatch.setattr(message_module, "_WORD_CACHE_LIMIT", 8)
+        again_int, _ = message_module.word_caches(48)
+        assert again_int is int_cache  # same shared dict, emptied in place
+        assert len(int_cache) == 0
+
+
+class TestShardsValidation:
+    def test_cli_rejects_out_of_range_shards(self):
+        from repro.__main__ import main
+
+        with pytest.raises(SystemExit, match="--shards must be >= 1"):
+            main(["realize", "--degrees", "3,3,2,2", "--fast",
+                  "--engine", "sharded", "--shards", "0"])
+        with pytest.raises(SystemExit, match="exceeds the network size"):
+            main(["realize", "--degrees", "3,3,2,2", "--fast",
+                  "--engine", "sharded", "--shards", "9"])
+
+    def test_cli_default_shards_still_clamp(self, capsys):
+        """No explicit --shards: tiny networks keep working (engine
+        default, clamped) instead of erroring on the default of 2."""
+        from repro.__main__ import main
+
+        assert main(["tree", "--degrees", "1,1", "--fast",
+                     "--engine", "sharded"]) == 0
+        assert "REALIZED" in capsys.readouterr().out
+
+    def test_config_rejects_nonpositive_shards(self):
+        with pytest.raises(ValueError, match="engine_shards"):
+            NCCConfig(engine_shards=0)
+        with pytest.raises(ValueError, match="engine_shards"):
+            NCCConfig(engine_shards=-2)
+        with pytest.raises(ValueError, match="engine_shards"):
+            NCCConfig(engine_shards=True)  # True == 1 must not slip through
+
+    def test_request_rejects_shards_above_n(self):
+        with pytest.raises(ServiceError, match="cannot exceed n"):
+            req(n=8, engine="sharded", shards=9).validate()
+        req(n=8, engine="sharded", shards=8).validate()
+        # Only the sharded engine consumes the knob; a stray value on an
+        # in-process engine stays neutralised (and cache-key-invisible).
+        req(n=8, shards=9).validate()
+
+
+class TestWireEnvelopes:
+    def test_request_wire_round_trip(self):
+        request = req(seed=5, shards=0, max_rounds=70, request_id="w")
+        clone = RealizationRequest.from_wire(request.to_wire())
+        assert clone == request and hash(clone) == hash(request)
+        inline = RealizationRequest(
+            kind="degree_implicit", degrees=(3, 3, 2, 2), request_id="i",
+        )
+        clone = RealizationRequest.from_wire(inline.to_wire())
+        assert clone == inline and clone.degrees == (3, 3, 2, 2)
+        assert type(clone.degrees) is tuple
+
+    def test_request_wire_survives_giant_degree_values(self):
+        giant = RealizationRequest(kind="degree_implicit", degrees=(2**70, 2))
+        clone = RealizationRequest.from_wire(giant.to_wire())
+        assert clone.degrees == (2**70, 2)
+
+    def test_response_wire_round_trip(self):
+        executor = BatchExecutor(pool=NetworkPool(), registry=default_registry())
+        response = executor.handle(req(seed=2, request_id="r"))
+        from repro.service import RealizationResponse
+
+        clone = RealizationResponse.from_wire(response.to_wire())
+        assert clone == response
+        assert clone.fingerprint() == response.fingerprint()

@@ -209,6 +209,55 @@ class TestVariantsUnderSharding:
         assert outcomes["sharded"] == outcomes["reference"]
 
 
+class TestOversizePayloadIds:
+    def test_ids_beyond_int64_stay_bit_identical(self):
+        """Message.ids is protocol-supplied, not bounded by the node-ID
+        universe: a receiver must 'learn' a 2**70 id identically on the
+        sharded engine (the wire codec boxes the oversize id group)."""
+        from repro.ncc.message import msg
+
+        outcomes = {}
+        for label, config in (
+            ("fast", NCCConfig(seed=3, engine="fast")),
+            ("sharded", NCCConfig(seed=3, engine="sharded", engine_shards=2)),
+        ):
+            net = Network(12, config)
+            ids = list(net.node_ids)
+            src, dst = ids[0], ids[1]  # path knowledge: head knows next
+            inboxes = net.step([(src, dst, msg("huge", ids=(2**70,)))])
+            outcomes[label] = (
+                {d: [(m.kind, m.src, m.ids) for m in box] for d, box in inboxes.items()},
+                net.stats(),
+                {v: frozenset(s) for v, s in net.known.items()},
+            )
+            net.close()
+        assert outcomes["sharded"] == outcomes["fast"]
+        assert 2**70 in outcomes["sharded"][2][list(outcomes["sharded"][0])[0]]
+
+    def test_non_int_ids_stay_bit_identical(self):
+        """Knowledge sets accept any hashable, so the in-process engines
+        deliver string ids; the sharded exchange must transport them
+        (boxed) rather than crash the worker on array('q').extend."""
+        from repro.ncc.message import msg
+
+        outcomes = {}
+        for label, config in (
+            ("fast", NCCConfig(seed=3, engine="fast")),
+            ("sharded", NCCConfig(seed=3, engine="sharded", engine_shards=2)),
+        ):
+            net = Network(12, config)
+            ids = list(net.node_ids)
+            src, dst = ids[0], ids[1]
+            inboxes = net.step([(src, dst, msg("weird", ids=("not-an-int",)))])
+            outcomes[label] = (
+                {d: [(m.kind, m.src, m.ids) for m in box] for d, box in inboxes.items()},
+                net.stats(),
+                {v: frozenset(s) for v, s in net.known.items()},
+            )
+            net.close()
+        assert outcomes["sharded"] == outcomes["fast"]
+
+
 class TestInterningInvariant:
     def test_delivered_and_mirrored_kinds_are_interned(self):
         """Pickling breaks ``sys.intern``; the engine must restore it for
