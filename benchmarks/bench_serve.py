@@ -1,0 +1,333 @@
+"""X-SERVE — socket serve front end: sustained req/sec + latency tails.
+
+Methodology: the same deterministic mixed service traffic as X-SVC
+(``TOTAL`` requests = ``len(DISTINCT)`` distinct realization requests
+across five workload kinds at n ∈ {48, 96}, each recurring ``REPEAT``
+times, deterministic shuffle) is driven through three front ends, each
+on a *fresh* executor (so every mode pays the same cache misses):
+
+``serve_direct``
+    The in-process baseline: ``executor.handle()`` per request on the
+    calling thread — no sockets, no event loop.  This is the ceiling the
+    socket stack is measured against.
+
+``serve_closed_loop``
+    ``CONNECTIONS`` concurrent TCP clients on a live
+    :class:`~repro.service.server.SocketServer` (ephemeral port, real
+    loopback sockets).  Closed-loop arrival process: each client sends
+    one request and waits for its response before sending the next —
+    per-request latency is the client-observed send→response time.
+
+``serve_pipelined``
+    The same clients and shards, open-loop burst arrival: every client
+    writes its whole shard up front, then reads responses (in-order per
+    connection).  Latency is the sojourn time from burst start to each
+    response — queueing included, the honest tail under load.
+
+Responses are asserted field-identical across all three modes per
+``request_id`` (the executor's bit-identical guarantees must hold over
+the socket).  The summed rounds/messages and the request counts are the
+regression-guard invariants; ``requests_per_sec`` is guarded with the
+standard throughput tolerance.  The acceptance gate is *efficiency*:
+the slower socket mode must sustain at least
+``TARGET_MIN_EFFICIENCY`` × the direct throughput (the socket, JSON and
+event-loop overhead must not dominate realization work), with zero
+admission rejections at the default-sized window.  Wall-clock timing:
+the event loop and client coroutines share the process.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import random
+import time
+
+from common import Experiment
+from repro.service import (
+    BatchExecutor,
+    LatencyRecorder,
+    NetworkPool,
+    RealizationRequest,
+    SocketServer,
+    default_registry,
+)
+
+#: Acceptance: min(socket-mode req/s) / direct req/s.
+TARGET_MIN_EFFICIENCY = 0.5
+
+#: Distinct requests: (kind, scenario, n, seed, extra request fields) —
+#: five workload kinds over two deployment identities, X-SVC's shape at
+#: socket-benchmark scale.
+DISTINCT = [
+    ("degree_implicit", "random_graphic", 48, 3, {}),
+    ("degree_envelope", "near_graphic", 48, 3, {}),
+    ("tree", "tree_random", 48, 3, {}),
+    ("connectivity", "rho_uniform", 48, 3, {}),
+    ("approximate", "regular", 48, 3, {}),
+    ("degree_implicit", "power_law", 96, 5, {}),
+    ("tree", "tree_caterpillar", 96, 5, {}),
+    ("connectivity", "rho_ranked", 96, 5, {}),
+]
+
+#: Each distinct request recurs this many times (service traffic
+#: repeats itself; the response cache is part of the measured stack).
+REPEAT = 5
+
+TOTAL = len(DISTINCT) * REPEAT
+
+#: Concurrent client connections for the socket modes.
+CONNECTIONS = 4
+
+#: The admission window under test (the CLI default) — large enough
+#: that this load must see zero rejections, which is asserted.
+WINDOW = 256
+
+
+def build_traffic():
+    """The deterministic request mix (shuffled, unique request_ids)."""
+    requests = []
+    for rep in range(REPEAT):
+        for kind, scenario, n, seed, extra in DISTINCT:
+            requests.append(
+                RealizationRequest(
+                    kind=kind,
+                    scenario=scenario,
+                    n=n,
+                    seed=seed,
+                    request_id=f"{kind}-{scenario}-{n}-r{rep}",
+                    **extra,
+                ).validate()
+            )
+    random.Random(7).shuffle(requests)
+    return requests
+
+
+def _fresh_executor():
+    return BatchExecutor(pool=NetworkPool(), cache_responses=True,
+                         registry=default_registry())
+
+
+def _strip(row):
+    """Response fields minus identity and measurement volatiles."""
+    return {k: v for k, v in row.items()
+            if k not in ("request_id", "cached", "elapsed_sec")}
+
+
+async def _closed_loop_client(port, requests, recorder):
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    rows = []
+    for request in requests:
+        payload = (json.dumps(request.to_dict()) + "\n").encode()
+        start = time.perf_counter()
+        writer.write(payload)
+        await writer.drain()
+        raw = await reader.readline()
+        recorder.record(time.perf_counter() - start)
+        rows.append(json.loads(raw))
+    writer.close()
+    await writer.wait_closed()
+    return rows
+
+
+async def _pipelined_client(port, requests, recorder):
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    start = time.perf_counter()
+    for request in requests:
+        writer.write((json.dumps(request.to_dict()) + "\n").encode())
+    await writer.drain()
+    rows = []
+    for _ in requests:
+        raw = await reader.readline()
+        # Sojourn since the burst began: queueing is part of the tail.
+        recorder.record(time.perf_counter() - start)
+        rows.append(json.loads(raw))
+    writer.close()
+    await writer.wait_closed()
+    return rows
+
+
+async def _drive_socket(executor, traffic, client):
+    """One socket run: CONNECTIONS clients over a live server."""
+    server = await SocketServer(executor, port=0, window=WINDOW).start()
+    shards = [traffic[i::CONNECTIONS] for i in range(CONNECTIONS)]
+    recorder = LatencyRecorder()
+    start = time.perf_counter()
+    rows_per_client = await asyncio.gather(
+        *[client(server.port, shard, recorder) for shard in shards]
+    )
+    elapsed = time.perf_counter() - start
+    rejected = server.rejected
+    server.drain()
+    await server.wait_done()
+    rows = [row for rows in rows_per_client for row in rows]
+    return elapsed, rows, recorder, rejected
+
+
+def _run_direct(traffic):
+    executor = _fresh_executor()
+    recorder = LatencyRecorder()
+    rows = []
+    start = time.perf_counter()
+    for request in traffic:
+        began = time.perf_counter()
+        response = executor.handle(request)
+        recorder.record(time.perf_counter() - began)
+        rows.append(response.to_dict())
+    elapsed = time.perf_counter() - start
+    executor.close()
+    return elapsed, rows, recorder, 0
+
+
+def _run_mode(mode, traffic):
+    if mode == "serve_direct":
+        return _run_direct(traffic)
+    client = (_closed_loop_client if mode == "serve_closed_loop"
+              else _pipelined_client)
+    executor = _fresh_executor()
+    try:
+        return asyncio.run(_drive_socket(executor, traffic, client))
+    finally:
+        executor.close()
+
+
+MODES = ("serve_direct", "serve_closed_loop", "serve_pipelined")
+
+
+def measure(reps: int = 2):
+    """Best-of-``reps`` wall-clock runs of each front end.
+
+    Every rep of every mode runs the identical traffic on a fresh
+    executor; responses are asserted field-identical per request_id
+    across all runs, and the best rep's latency percentiles are kept.
+    """
+    traffic = build_traffic()
+    canonical = None  # request_id -> stripped response of the first run
+    best = {mode: None for mode in MODES}
+    for _ in range(reps):
+        for mode in MODES:
+            elapsed, rows, recorder, rejected = _run_mode(mode, traffic)
+            assert len(rows) == TOTAL
+            assert rejected == 0, (
+                f"{mode}: {rejected} admission rejections at window "
+                f"{WINDOW} — the default window must absorb this load"
+            )
+            by_id = {row["request_id"]: _strip(row) for row in rows}
+            if canonical is None:
+                canonical = by_id
+            else:
+                assert by_id == canonical, (
+                    f"{mode} changed a response — the socket front end "
+                    "must be answer-preserving"
+                )
+            if best[mode] is None or elapsed < best[mode][0]:
+                best[mode] = (elapsed, recorder)
+
+    total_rounds = sum(row["rounds"] for row in canonical.values())
+    total_messages = sum(row["messages"] for row in canonical.values())
+    results = []
+    for mode in MODES:
+        elapsed, recorder = best[mode]
+        latency = recorder.snapshot()
+        results.append(
+            {
+                "workload": mode,
+                "n": 0,  # mixed traffic (n in {48, 96})
+                "requests": TOTAL,
+                "distinct": len(DISTINCT),
+                "connections": 0 if mode == "serve_direct" else CONNECTIONS,
+                "window": WINDOW,
+                "rounds": total_rounds,
+                "messages": total_messages,
+                "rejected": 0,
+                "elapsed_sec": round(elapsed, 4),
+                "requests_per_sec": round(TOTAL / elapsed, 2),
+                "p50_ms": latency["p50_ms"],
+                "p99_ms": latency["p99_ms"],
+            }
+        )
+    return results
+
+
+_results_cache = {}
+
+
+def bench_results(reps: int = 2):
+    """The BENCH_serve.json payload rows; cached per process."""
+    if reps not in _results_cache:
+        _results_cache[reps] = measure(reps=reps)
+    return _results_cache[reps]
+
+
+def efficiency(results=None) -> float:
+    """min(socket req/s) / direct req/s — the acceptance ratio."""
+    results = results or bench_results()
+    by_mode = {r["workload"]: r for r in results}
+    direct = by_mode["serve_direct"]["requests_per_sec"]
+    slowest = min(
+        by_mode["serve_closed_loop"]["requests_per_sec"],
+        by_mode["serve_pipelined"]["requests_per_sec"],
+    )
+    return round(slowest / direct, 2)
+
+
+def experiment() -> Experiment:
+    results = bench_results()
+    rows = [
+        [
+            r["workload"],
+            r["requests"],
+            r["connections"] or "—",
+            f"{r['elapsed_sec']:.3f}s",
+            f"{r['requests_per_sec']:,}",
+            f"{r['p50_ms']:.1f}",
+            f"{r['p99_ms']:.1f}",
+            r["rejected"],
+        ]
+        for r in results
+    ]
+    ratio = efficiency(results)
+    return Experiment(
+        exp_id="X-SERVE",
+        claim="socket front end sustains near-direct throughput for many clients",
+        headers=[
+            "mode", "requests", "conns", "best time", "req/s",
+            "p50 ms", "p99 ms", "rejected",
+        ],
+        rows=rows,
+        shape_holds=ratio >= TARGET_MIN_EFFICIENCY,
+        notes=(
+            f"The X-SVC mixed traffic at socket scale ({TOTAL} requests = "
+            f"{len(DISTINCT)} distinct x{REPEAT}, n in {{48, 96}}) served "
+            "three ways on fresh executors: in-process handle() calls "
+            f"(direct), and {CONNECTIONS} concurrent TCP clients in "
+            "closed-loop (request-response) and pipelined (burst) arrival "
+            "processes against a live SocketServer.  Responses asserted "
+            "field-identical per request_id across all modes and reps; "
+            f"zero rejections at window {WINDOW}.  Closed-loop latency is "
+            "client-observed per request; pipelined latency is sojourn "
+            "time from burst start (queueing included).  Slowest-socket/"
+            f"direct throughput ratio {ratio:.2f}x "
+            f"(target >= {TARGET_MIN_EFFICIENCY}x)."
+        ),
+    )
+
+
+def test_socket_serve_smoke(benchmark):
+    """Smoke-scale socket drive: answers preserved over the wire."""
+    traffic = build_traffic()[:8]
+    _, direct_rows, _, _ = _run_direct(traffic)
+    direct = {row["request_id"]: _strip(row) for row in direct_rows}
+
+    def run():
+        executor = _fresh_executor()
+        try:
+            return asyncio.run(
+                _drive_socket(executor, traffic, _pipelined_client)
+            )
+        finally:
+            executor.close()
+
+    _, rows, _, rejected = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert rejected == 0
+    assert {row["request_id"]: _strip(row) for row in rows} == direct

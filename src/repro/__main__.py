@@ -21,7 +21,9 @@ writing a script:
 * ``serve`` — long-lived JSONL service on stdin/stdout
   (``--mode processes --workers N`` streams: requests enter the worker
   pool as their lines arrive, responses are emitted in input order as
-  they complete);
+  they complete); with ``--port`` it becomes a multi-client TCP socket
+  server with bounded admission (``--window``) and typed
+  ``ADMISSION_REJECTED`` overflow responses;
 * ``profile sorting --n 256 [--top 25] [--sort-by cumulative]`` — run a
   registry scenario under ``cProfile`` and print the hottest functions,
   so perf work starts from data instead of guesses.
@@ -234,6 +236,11 @@ def cmd_batch(args) -> int:
     executor = _make_executor(args)
     try:
         responses = run_batch_lines(lines, executor)
+        # Capture the counters while the executor is live: close() tears
+        # the pool down, so a later stats() call would describe a
+        # torn-down executor (it now freezes, but the summary should not
+        # depend on that).
+        stats = executor.stats()
     finally:
         executor.close()
     errors = 0
@@ -241,7 +248,6 @@ def cmd_batch(args) -> int:
         if response.verdict == "ERROR":
             errors += 1
         print(json.dumps(response.to_dict()))
-    stats = executor.stats()
     pool = stats.get("pool", {})
     summary = (
         f"batch[{stats['mode']}]: {len(responses)} response(s), "
@@ -262,14 +268,45 @@ def cmd_batch(args) -> int:
 
 def cmd_serve(args) -> int:
     from repro.service import serve
+    from repro.service.executor import validate_window
 
-    executor = _make_executor(args)
     try:
-        handled = serve(sys.stdin, sys.stdout, executor)
-    finally:
-        executor.close()
-    print(f"serve[{executor.mode}]: emitted {handled} response(s)", file=sys.stderr)
-    return 0
+        window = validate_window(args.window)
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+    if args.port is not None and not 0 <= args.port <= 65535:
+        raise SystemExit(f"--port must be in 0..65535, got {args.port}")
+    executor = _make_executor(args)
+    if args.port is not None:
+        from repro.service.server import serve_socket
+
+        def ready(server) -> None:
+            # Machine-parseable (the CI smoke and tests scrape it): with
+            # --port 0 this is how callers learn the bound port.
+            print(
+                f"serve[{executor.mode}]: listening on "
+                f"{server.host}:{server.port}",
+                file=sys.stderr, flush=True,
+            )
+
+        try:
+            handled, errors = serve_socket(
+                executor, host=args.host, port=args.port, window=window,
+                ready=ready,
+            )
+        finally:
+            executor.close()
+    else:
+        try:
+            handled, errors = serve(sys.stdin, sys.stdout, executor, window=window)
+        finally:
+            executor.close()
+    print(
+        f"serve[{executor.mode}]: emitted {handled} response(s), "
+        f"{errors} error(s)",
+        file=sys.stderr,
+    )
+    return 1 if errors else 0
 
 
 # ---------------------------------------------------------------------- #
@@ -405,7 +442,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--no-cache", action="store_true", help="disable response cache")
     p.set_defaults(fn=cmd_batch)
 
-    p = sub.add_parser("serve", help="long-lived JSONL service on stdin/stdout")
+    p = sub.add_parser(
+        "serve",
+        help="long-lived JSONL service on stdin/stdout (default) or, "
+        "with --port, a multi-client TCP socket server",
+    )
     p.add_argument(
         "--mode",
         choices=("sequential", "threads", "processes"),
@@ -418,6 +459,22 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--workers", type=int, default=4)
     p.add_argument("--no-pool", action="store_true", help="fresh network per request")
     p.add_argument("--no-cache", action="store_true", help="disable response cache")
+    p.add_argument(
+        "--host", default="127.0.0.1",
+        help="bind address for the socket server (with --port)",
+    )
+    p.add_argument(
+        "--port", type=int, default=None,
+        help="serve JSONL over TCP on this port instead of stdin/stdout "
+        "(0 = ephemeral; the bound address is printed to stderr)",
+    )
+    p.add_argument(
+        "--window", type=int, default=None,
+        help="in-flight backpressure window (>= 1; default "
+        "%(default)s -> module default): the stdio streaming path "
+        "blocks its reader at the window, the socket server rejects "
+        "with error_code=ADMISSION_REJECTED",
+    )
     p.set_defaults(fn=cmd_serve)
 
     p = sub.add_parser("profile", help="profile a workload under cProfile")

@@ -5,8 +5,11 @@ request/response envelopes (:mod:`~repro.service.api`), a registry of
 named workload scenarios (:mod:`~repro.service.registry`), a warm
 :class:`NetworkPool` built on the verified ``Network.reset()`` lease
 contract (:mod:`~repro.service.pool`), and a batch/queue executor with
-JSONL front ends (:mod:`~repro.service.executor`), exposed on the CLI as
-``python -m repro serve`` and ``python -m repro batch``.
+JSONL front ends (:mod:`~repro.service.executor`), plus an asyncio TCP
+front end multiplexing many concurrent JSONL connections onto one shared
+executor (:mod:`~repro.service.server`), exposed on the CLI as
+``python -m repro serve`` (``--port`` for the socket server) and
+``python -m repro batch``.
 
 Quickstart::
 
@@ -27,15 +30,23 @@ from repro.service.api import (
     error_response,
 )
 from repro.service.executor import (
+    SERVE_STREAM_WINDOW,
     BatchExecutor,
+    LatencyRecorder,
     parse_request_line,
     parse_request_payload,
     resolve_workload,
     run_batch_lines,
     run_request,
     serve,
+    validate_window,
 )
 from repro.service.pool import NetworkPool
+from repro.service.server import (
+    ADMISSION_REJECTED,
+    SocketServer,
+    serve_socket,
+)
 from repro.service.registry import (
     DEFAULT_REGISTRY,
     Scenario,
@@ -44,15 +55,19 @@ from repro.service.registry import (
 )
 
 __all__ = [
+    "ADMISSION_REJECTED",
     "BatchExecutor",
     "DEFAULT_REGISTRY",
     "KINDS",
+    "LatencyRecorder",
     "NetworkPool",
     "RealizationRequest",
     "RealizationResponse",
+    "SERVE_STREAM_WINDOW",
     "Scenario",
     "ScenarioRegistry",
     "ServiceError",
+    "SocketServer",
     "default_registry",
     "error_response",
     "parse_request_line",
@@ -61,4 +76,6 @@ __all__ = [
     "run_batch_lines",
     "run_request",
     "serve",
+    "serve_socket",
+    "validate_window",
 ]

@@ -383,8 +383,10 @@ class RealizationResponse:
     in ``detail``), or ``ERROR`` (the request was malformed or the run
     raised).  ``error_code`` types machine-actionable failures
     (``"BUDGET_EXCEEDED"`` when a per-request ``max_rounds`` budget
-    fired, ``"WORKER_CRASHED"`` when a process-drain worker died);
-    free-form failures leave it ``None``.  ``cached`` marks responses
+    fired, ``"WORKER_CRASHED"`` when a process-drain worker died,
+    ``"ADMISSION_REJECTED"`` when the socket front end refused the
+    request unexecuted — window full or server draining — so the client
+    should back off and resubmit); free-form failures leave it ``None``.  ``cached`` marks responses
     served from the executor's response cache (or coalesced onto a
     concurrent identical execution); by determinism they are
     field-identical to a fresh run (``fingerprint()`` is the comparison

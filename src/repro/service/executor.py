@@ -57,14 +57,16 @@ from __future__ import annotations
 import dataclasses
 import io
 import json
+import math
 import os
 import threading
 import time
-from collections import OrderedDict
+from collections import OrderedDict, deque
 from concurrent.futures import (
     BrokenExecutor,
     CancelledError,
     Future,
+    InvalidStateError,
     ProcessPoolExecutor,
     ThreadPoolExecutor,
 )
@@ -301,6 +303,75 @@ def _process_worker_run(request: RealizationRequest) -> RealizationResponse:
         )
 
 
+class LatencyRecorder:
+    """Thread-safe bounded reservoir of per-request service latencies.
+
+    The serve front ends (stdio and socket) answer ``stats`` probes with
+    latency percentiles; this recorder keeps the most recent
+    ``capacity`` samples so a long-lived service reports *current*
+    latency in O(1) memory instead of growing with traffic.  ``count``/
+    ``mean`` cover the full lifetime; ``p50``/``p99`` are nearest-rank
+    percentiles over the retained window.  Samples are recorded by the
+    single-request paths (:meth:`BatchExecutor.handle` and the async
+    :meth:`BatchExecutor.submit`) — the whole-batch drains time
+    themselves.
+    """
+
+    def __init__(self, capacity: int = 4096) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self._samples: "deque[float]" = deque(maxlen=capacity)
+        self._lock = threading.Lock()
+        self._count = 0
+        self._total = 0.0
+
+    def record(self, seconds: float) -> None:
+        with self._lock:
+            self._samples.append(seconds)
+            self._count += 1
+            self._total += seconds
+
+    @staticmethod
+    def _nearest_rank(ordered: Sequence[float], fraction: float) -> float:
+        if not ordered:
+            return 0.0
+        rank = max(0, math.ceil(fraction * len(ordered)) - 1)
+        return ordered[min(rank, len(ordered) - 1)]
+
+    def percentile(self, fraction: float) -> float:
+        """Nearest-rank percentile (seconds) over the retained window."""
+        with self._lock:
+            ordered = sorted(self._samples)
+        return self._nearest_rank(ordered, fraction)
+
+    def snapshot(self) -> Dict[str, float]:
+        """Counters + percentiles, in milliseconds, for ``stats()``."""
+        with self._lock:
+            ordered = sorted(self._samples)
+            count, total = self._count, self._total
+        return {
+            "count": count,
+            "mean_ms": round(1000.0 * total / count, 3) if count else 0.0,
+            "p50_ms": round(1000.0 * self._nearest_rank(ordered, 0.50), 3),
+            "p99_ms": round(1000.0 * self._nearest_rank(ordered, 0.99), 3),
+        }
+
+
+def _resolve_future(out: "Future", response: RealizationResponse) -> None:
+    """Resolve a response future, tolerating a racing cancellation.
+
+    A serve loop whose writer died cancels the futures it will never
+    emit (:func:`_drain_pending`); the executor's completion callbacks
+    race that cancellation and must not crash the pool's callback
+    thread on an ``InvalidStateError``.
+    """
+    if not out.cancelled():
+        try:
+            out.set_result(response)
+        except InvalidStateError:  # cancelled between the check and the set
+            pass
+
+
 class BatchExecutor:
     """Drains request batches/queues over a shared pool and caches.
 
@@ -377,8 +448,11 @@ class BatchExecutor:
         # points (run/submit) re-open.
         self._pool_lock = threading.Lock()
         self._closed = False
+        # Frozen close-time stats (see close()/stats()); None while live.
+        self._stats_snapshot: Optional[Dict[str, Any]] = None
         self._process_pool: Optional[ProcessPoolExecutor] = None
         self._process_pool_broken = False
+        self.latency = LatencyRecorder()
         self.requests_handled = 0
         self.response_cache_hits = 0
         self.response_cache_evictions = 0
@@ -401,15 +475,28 @@ class BatchExecutor:
         """Shut down the persistent process pool (idempotent).
 
         In-flight async submissions resolve with an "executor closed"
-        error envelope; a later ``run``/``submit`` re-opens on a fresh
-        pool.
+        error envelope; a later ``run``/``submit``/``handle`` re-opens
+        on a fresh pool.  The counters are *frozen* at close time:
+        :meth:`stats` on a closed executor reports this snapshot, so a
+        front end that reads stats after teardown sees the close-time
+        truth instead of counters still drifting from in-flight
+        completions (or live state of a torn-down pool).
         """
+        snapshot = self._live_stats()
         with self._pool_lock:
             self._closed = True
+            if self._stats_snapshot is None:
+                self._stats_snapshot = snapshot
             pool, self._process_pool = self._process_pool, None
             self._process_pool_broken = False
         if pool is not None:
             pool.shutdown(wait=True, cancel_futures=True)
+
+    def _reopen(self) -> None:
+        """Public entry points re-open after close(); stats go live again."""
+        with self._pool_lock:
+            self._closed = False
+            self._stats_snapshot = None
 
     def __enter__(self) -> "BatchExecutor":
         return self
@@ -491,6 +578,9 @@ class BatchExecutor:
     def handle(self, request: RealizationRequest) -> RealizationResponse:
         """One request through the full warm path: validate, consult the
         cache, coalesce onto an identical in-flight execution, or run."""
+        if self._closed:  # cheap unlocked read; re-opening is rare
+            self._reopen()
+        started = time.perf_counter()
         key: Optional[RealizationRequest] = None
         leader = False
         try:
@@ -560,6 +650,7 @@ class BatchExecutor:
                     event = self._in_flight.pop(key, None)
                 if event is not None:
                     event.set()
+            self.latency.record(time.perf_counter() - started)
 
     def handle_dict(self, payload: Mapping[str, Any]) -> RealizationResponse:
         """Parse + handle one JSON-style request dict."""
@@ -591,8 +682,7 @@ class BatchExecutor:
         if self.mode != "processes":
             out.set_result(self.handle(request))
             return out
-        with self._pool_lock:
-            self._closed = False  # public entry re-opens after close()
+        self._reopen()  # public entry re-opens after close()
         return self._submit(request, out)
 
     def _submit(self, request: RealizationRequest, out: "Future") -> "Future":
@@ -600,6 +690,10 @@ class BatchExecutor:
         (the streaming serve pump) must not resurrect a closed executor
         — a racing ``close()`` resolves their futures with the closed
         envelope instead."""
+        started = time.perf_counter()
+        out.add_done_callback(
+            lambda _f: self.latency.record(time.perf_counter() - started)
+        )
         try:
             request.validate()
         except ServiceError as exc:
@@ -772,17 +866,18 @@ class BatchExecutor:
                 self.coalesced_hits += len(followers)
                 if key is not None:
                     self._cache_store_locked(key, response)
-            out.set_result(
-                dataclasses.replace(response, request_id=request.request_id)
+            _resolve_future(
+                out, dataclasses.replace(response, request_id=request.request_id)
             )
             for follower_request, follower_out in followers:
-                follower_out.set_result(
+                _resolve_future(
+                    follower_out,
                     dataclasses.replace(
                         response,
                         request_id=follower_request.request_id,
                         cached=True,
                         elapsed_sec=0.0,
-                    )
+                    ),
                 )
         else:
             with self._cache_lock:
@@ -795,17 +890,18 @@ class BatchExecutor:
                 self.requests_handled += 1 + (
                     len(followers) if not resubmit_followers else 0
                 )
-            out.set_result(
-                dataclasses.replace(response, request_id=request.request_id)
+            _resolve_future(
+                out, dataclasses.replace(response, request_id=request.request_id)
             )
             if not resubmit_followers:
                 # Executor closed: followers get the leader's envelope
                 # instead of an attempt that would rebuild the pool.
                 for follower_request, follower_out in followers:
-                    follower_out.set_result(
+                    _resolve_future(
+                        follower_out,
                         dataclasses.replace(
                             response, request_id=follower_request.request_id
-                        )
+                        ),
                     )
                 return
             # Failures are never shared (matching the batch drain): each
@@ -848,8 +944,7 @@ class BatchExecutor:
         response cache, so a process drain is field-identical to a
         sequential one.
         """
-        with self._pool_lock:
-            self._closed = False  # public entry re-opens after close()
+        self._reopen()  # public entry re-opens after close()
         responses: List[Optional[RealizationResponse]] = [None] * len(batch)
         jobs: List[Tuple[List[int], RealizationRequest]] = []
         job_keys: List[Optional[RealizationRequest]] = []
@@ -1007,9 +1102,23 @@ class BatchExecutor:
         return outcomes  # type: ignore[return-value]
 
     def stats(self) -> Dict[str, Any]:
+        """The counters — live, or the frozen close-time snapshot.
+
+        After :meth:`close` the snapshot taken at close time is
+        returned (``closed: True``) until a public entry point re-opens
+        the executor; counters must not drift under a caller that
+        already tore the executor down.
+        """
+        with self._pool_lock:
+            if self._closed and self._stats_snapshot is not None:
+                return {**self._stats_snapshot, "closed": True}
+        return self._live_stats()
+
+    def _live_stats(self) -> Dict[str, Any]:
         out: Dict[str, Any] = {
             "mode": self.mode,
             "workers": self.workers,
+            "closed": False,
             "requests_handled": self.requests_handled,
             "response_cache_hits": self.response_cache_hits,
             "response_cache_evictions": self.response_cache_evictions,
@@ -1023,6 +1132,7 @@ class BatchExecutor:
             "scenario_cache_evictions": (
                 self.registry.cache_evictions - self._registry_evictions_base
             ),
+            "latency": self.latency.snapshot(),
         }
         if self.pool is not None:
             out["pool"] = self.pool.stats()
@@ -1058,23 +1168,62 @@ def parse_request_line(line: str):
     return parse_request_payload(payload)
 
 
-#: In-flight window of the streaming serve loop: how many submitted-but-
-#: unemitted requests the reader thread may run ahead by before it blocks
-#: (backpressure for clients that pipe unbounded request streams).
+#: Default in-flight window of the serve front ends: how many submitted-
+#: but-unemitted requests a stream may run ahead by before backpressure
+#: applies.  The streaming stdio loop *blocks* its reader at the window;
+#: the socket server *rejects* (typed ``ADMISSION_REJECTED``) instead.
+#: Both take the validated knob through ``serve()`` / ``SocketServer`` /
+#: the CLI's ``--window``.
 SERVE_STREAM_WINDOW = 256
+
+
+def validate_window(window: Optional[int]) -> int:
+    """The shared backpressure knob: ``None`` -> default, else int >= 1."""
+    if window is None:
+        return SERVE_STREAM_WINDOW
+    if not isinstance(window, int) or isinstance(window, bool) or window < 1:
+        raise ValueError(f"window must be an integer >= 1, got {window!r}")
+    return window
+
+
+def _drain_pending(queue: "Queue") -> int:
+    """Discard a serve queue's unemitted items after a writer failure.
+
+    Every pending response ``Future`` is cancelled — so the executor's
+    completion callbacks stop resolving work nobody will read and a
+    reader blocked on ``put()`` can proceed — and already-completed ones
+    have their exception retrieved, so teardown never leaves a stored
+    exception unobserved.  Returns the number of discarded items.
+    """
+    discarded = 0
+    while True:
+        try:
+            item = queue.get_nowait()
+        except Empty:
+            return discarded
+        discarded += 1
+        if isinstance(item, Future) and not item.cancel():
+            try:
+                item.exception(timeout=0)
+            except Exception:  # cancelled concurrently: nothing stored
+                pass
 
 
 def serve(
     in_stream: io.TextIOBase,
     out_stream: io.TextIOBase,
     executor: Optional[BatchExecutor] = None,
-) -> int:
+    window: Optional[int] = None,
+) -> Tuple[int, int]:
     """Long-lived JSONL loop: one request per line in, one response out.
 
     Malformed lines produce ``verdict="ERROR"`` responses (the stream
-    keeps serving).  Returns the number of responses emitted, including
-    parse-error envelopes (``executor.requests_handled`` counts only the
-    requests that reached the executor) — the loop ends at EOF.
+    keeps serving).  Returns ``(handled, errors)`` — the number of
+    responses emitted (including parse-error envelopes;
+    ``executor.requests_handled`` counts only the requests that reached
+    the executor) and how many of them carried ``verdict="ERROR"``, so
+    front ends can propagate a nonzero exit code like ``batch`` does.
+    The loop ends at EOF.
 
     With a ``mode="processes"`` executor the loop *streams*: a reader
     thread parses lines and submits each request to the worker pool as
@@ -1082,13 +1231,17 @@ def serve(
     emits responses in input order as their futures complete.  A client
     that writes one line and waits sees its response without closing
     stdin; a client that pipelines N lines gets the pool's parallelism.
-    Other modes handle each line synchronously, as before.
+    ``window`` bounds how far the reader may run ahead of the writer
+    (default :data:`SERVE_STREAM_WINDOW`, validated >= 1 — the same
+    knob the socket front end rejects on).  Other modes handle each
+    line synchronously, as before.
     """
+    window = validate_window(window)
     if executor is None:
         executor = BatchExecutor(pool=NetworkPool())
     if executor.mode == "processes":
-        return _serve_streaming(in_stream, out_stream, executor)
-    handled = 0
+        return _serve_streaming(in_stream, out_stream, executor, window)
+    handled = errors = 0
     for line in in_stream:
         line = line.strip()
         if not line:
@@ -1101,23 +1254,26 @@ def serve(
         out_stream.write(json.dumps(response.to_dict()) + "\n")
         out_stream.flush()
         handled += 1
-    return handled
+        if response.verdict == "ERROR":
+            errors += 1
+    return handled, errors
 
 
 def _serve_streaming(
     in_stream: io.TextIOBase,
     out_stream: io.TextIOBase,
     executor: BatchExecutor,
-) -> int:
+    window: int,
+) -> Tuple[int, int]:
     """The incremental drain behind ``serve --mode processes``.
 
     Emission order is input order (deterministic per request id): a
     response is written as soon as its future completes *and* every
     earlier response has been written.  The bounded queue gives
-    backpressure — the reader stops ``SERVE_STREAM_WINDOW`` requests
-    ahead of the writer.
+    backpressure — the reader stops ``window`` requests ahead of the
+    writer.
     """
-    queue: "Queue" = Queue(maxsize=SERVE_STREAM_WINDOW)
+    queue: "Queue" = Queue(maxsize=window)
     reader_failure: List[BaseException] = []
     stop = threading.Event()
 
@@ -1143,7 +1299,7 @@ def _serve_streaming(
 
     reader = threading.Thread(target=pump, name="serve-stream-reader", daemon=True)
     reader.start()
-    handled = 0
+    handled = errors = 0
     try:
         while True:
             item = queue.get()
@@ -1153,20 +1309,21 @@ def _serve_streaming(
             out_stream.write(json.dumps(response.to_dict()) + "\n")
             out_stream.flush()
             handled += 1
+            if response.verdict == "ERROR":
+                errors += 1
     except BaseException:
         # Writer failed (e.g. BrokenPipeError: the client closed its
-        # read end).  Signal the reader to stop submitting and free the
-        # bounded queue so a pump blocked in put() can proceed, then
-        # propagate immediately — without joining or block-draining: a
-        # reader blocked on input that never arrives would stall either
-        # forever (it is a daemon thread and retires at its next line
-        # or at EOF).
+        # read end).  Signal the reader to stop submitting, then cancel
+        # and discard the unemitted responses — cancelling releases the
+        # bounded queue (a pump blocked in put() can proceed) and marks
+        # the in-flight futures dead so completion callbacks and worker
+        # results are observed, not leaked ("exception was never
+        # retrieved" noise) — and propagate immediately, without joining
+        # or block-draining: a reader blocked on input that never
+        # arrives would stall forever (it is a daemon thread and retires
+        # at its next line or at EOF).
         stop.set()
-        try:
-            while True:
-                queue.get_nowait()
-        except Empty:
-            pass
+        _drain_pending(queue)
         raise
     reader.join()
     if reader_failure:
@@ -1174,7 +1331,7 @@ def _serve_streaming(
         # synchronous modes propagate stream failures to the caller, so
         # the streaming mode does too (after emitting what completed).
         raise reader_failure[0]
-    return handled
+    return handled, errors
 
 
 def run_batch_lines(

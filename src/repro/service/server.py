@@ -1,0 +1,416 @@
+"""Asyncio TCP front end for the realization service.
+
+The paper's NCC model targets overlay/peer-to-peer settings where many
+independent parties issue small realization queries concurrently — a
+workload the stdio ``serve`` pipe (one client, one stream) cannot
+express.  :class:`SocketServer` multiplexes any number of newline-
+delimited JSONL connections onto one shared :class:`BatchExecutor`:
+
+* **Same envelopes.**  Each line is parsed by the executor's own
+  ``parse_request_payload``; responses are the standard
+  :class:`~repro.service.api.RealizationResponse` dicts.  The executor's
+  cache/coalescing layers sit behind the socket unchanged, so responses
+  are bit-identical to the stdio and ``run()`` paths.
+* **Per-connection in-order streaming.**  Every connection owns a FIFO
+  of pending items; a response is written as soon as its future
+  completes *and* every earlier response on that connection has been
+  written.  Connections never block each other.
+* **Bounded admission, typed rejection.**  A global in-flight window
+  (the same validated knob as the stdio path's ``--window``) caps the
+  work outstanding across all clients, and each client is further held
+  to a fair share ``max(1, window // connections)``.  Overflow is not
+  queued: the request is answered immediately with an ``ERROR``
+  envelope carrying ``error_code="ADMISSION_REJECTED"``, so clients can
+  back off and retry instead of silently stalling.
+* **Round-robin fairness.**  The reader yields to the event loop after
+  every admission, so pipelined connections interleave one request at a
+  time instead of one socket being drained dry first.
+* **Graceful drain.**  ``drain()`` (installed on SIGTERM/SIGINT by
+  :func:`serve_socket`) stops accepting connections, rejects new
+  requests, lets in-flight work finish and flush, then shuts down.
+* **Introspection.**  A ``{"kind": "stats"}`` line is answered inline
+  (never queued behind realization work) with the executor's counters —
+  cache, coalescing, crashes, and the p50/p99 latency recorder — plus
+  the server's own admission counters.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import signal
+from concurrent.futures import Future, ThreadPoolExecutor
+from typing import Any, Callable, Dict, Optional, Set, Tuple
+
+from repro.service.api import RealizationResponse, error_response
+from repro.service.executor import (
+    BatchExecutor,
+    parse_request_payload,
+    validate_window,
+)
+from repro.service.pool import NetworkPool
+
+__all__ = ["ADMISSION_REJECTED", "STATS_KIND", "SocketServer", "serve_socket"]
+
+#: Typed ``error_code`` for requests refused by admission control (the
+#: window is full, the client exceeded its fair share, or the server is
+#: draining).  The request was *not* executed; clients should back off
+#: and resubmit.
+ADMISSION_REJECTED = "ADMISSION_REJECTED"
+
+#: Request ``kind`` answered by the server itself (not a realizer —
+#: deliberately absent from ``api.KINDS`` so the stdio path still
+#: rejects it as unknown rather than half-supporting it).
+STATS_KIND = "stats"
+
+#: Sentinel closing a connection's emit FIFO.
+_EOF = object()
+
+_WRITE_FAILURES = (OSError, RuntimeError)  # reset/broken pipe/closed transport
+
+
+class _Connection:
+    """Per-connection state: the in-order emit FIFO and admission count."""
+
+    __slots__ = ("writer", "queue", "inflight", "broken")
+
+    def __init__(self, writer: asyncio.StreamWriter) -> None:
+        self.writer = writer
+        self.queue: "asyncio.Queue[Any]" = asyncio.Queue()
+        self.inflight = 0  # admitted, future not yet done
+        self.broken = False  # write failed: consume silently from here on
+
+
+class SocketServer:
+    """JSONL-over-TCP multiplexer for one shared :class:`BatchExecutor`.
+
+    Run from inside a running event loop::
+
+        server = SocketServer(executor, port=0, window=64)
+        await server.start()          # binds; server.port is now real
+        ...
+        server.drain()                # graceful shutdown
+        handled, errors = await server.wait_done()
+
+    or use :func:`serve_socket` for the blocking CLI shape.
+
+    ``window`` is the shared backpressure knob (``None`` → the module
+    default, else a validated int ≥ 1 — exactly :func:`serve`'s rule).
+    """
+
+    def __init__(
+        self,
+        executor: BatchExecutor,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        window: Optional[int] = None,
+    ) -> None:
+        self.executor = executor
+        self.host = host
+        self.port = port  # rewritten with the bound port by start()
+        self.window = validate_window(window)
+        self.handled = 0  # responses emitted (all connections)
+        self.errors = 0  # of those, verdict == "ERROR"
+        self.rejected = 0  # admission rejections (counted in errors too)
+        self.connections_total = 0
+        self._inflight = 0  # admitted requests whose future is not done
+        self._connections: Set[_Connection] = set()
+        self._conn_tasks: "Set[asyncio.Task]" = set()
+        self._draining = False
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._threads: Optional[ThreadPoolExecutor] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._done: Optional[asyncio.Event] = None
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle                                                          #
+    # ------------------------------------------------------------------ #
+
+    async def start(self) -> "SocketServer":
+        """Bind and start accepting; resolves ``self.port`` (port 0 ⇒
+        ephemeral) so callers can discover the real address."""
+        self._loop = asyncio.get_running_loop()
+        self._done = asyncio.Event()
+        if self.executor.mode != "processes":
+            # handle() blocks — it must never run on the event loop.  A
+            # sequential executor keeps its semantics behind exactly one
+            # thread; a threads executor gets its own worker count.
+            workers = 1 if self.executor.mode == "sequential" else self.executor.workers
+            self._threads = ThreadPoolExecutor(
+                max_workers=workers, thread_name_prefix="socket-serve"
+            )
+        self._server = await asyncio.start_server(
+            self._client_connected, host=self.host, port=self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self
+
+    def drain(self) -> None:
+        """Begin graceful shutdown (idempotent, callable from signal
+        handlers): stop accepting, reject new requests, let in-flight
+        work finish and flush, then release the worker threads and wake
+        :meth:`wait_done`."""
+        if self._draining:
+            return
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+        assert self._loop is not None, "drain() before start()"
+        task = self._loop.create_task(self._finish_drain())
+        # Keep a reference so the finisher is never garbage-collected
+        # mid-flight (asyncio holds tasks weakly).
+        self._drain_task = task
+
+    async def _finish_drain(self) -> None:
+        while self._inflight > 0:
+            await asyncio.sleep(0.01)
+        # Every admitted future is done; completed responses still
+        # sitting in connection FIFOs flush when the handler's finally
+        # block runs.  Cancelling the handler is the EOF nudge — its
+        # read loop is parked on clients that may never close.
+        for task in list(self._conn_tasks):
+            task.cancel()
+        while self._conn_tasks:
+            await asyncio.sleep(0.01)
+        if self._server is not None:
+            await self._server.wait_closed()
+        if self._threads is not None:
+            self._threads.shutdown(wait=True)
+        assert self._done is not None
+        self._done.set()
+
+    async def wait_done(self) -> Tuple[int, int]:
+        """Block until a :meth:`drain` completes; ``(handled, errors)``
+        with the same semantics as :func:`serve`."""
+        assert self._done is not None, "wait_done() before start()"
+        await self._done.wait()
+        return self.handled, self.errors
+
+    # ------------------------------------------------------------------ #
+    # Per-connection machinery                                           #
+    # ------------------------------------------------------------------ #
+
+    async def _client_connected(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        if self._draining:
+            # Accepted before close() landed: one typed rejection, bye.
+            rejection = error_response(
+                "", "?", "server is draining; connection rejected",
+                code=ADMISSION_REJECTED,
+            )
+            try:
+                writer.write((json.dumps(rejection.to_dict()) + "\n").encode())
+                await writer.drain()
+            except _WRITE_FAILURES:
+                pass
+            writer.close()
+            return
+        conn = _Connection(writer)
+        self._connections.add(conn)
+        self.connections_total += 1
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
+        emit = asyncio.create_task(self._emit_loop(conn))
+        try:
+            await self._read_loop(reader, conn)
+        except asyncio.CancelledError:
+            pass  # drain's EOF nudge: flush and close below
+        except (ConnectionResetError, BrokenPipeError):
+            pass  # client vanished mid-read
+        finally:
+            self._connections.discard(conn)
+            conn.queue.put_nowait(_EOF)
+            try:
+                # Shielded: a second cancellation must not abandon the
+                # flush of already-completed responses.
+                await asyncio.wait_for(asyncio.shield(emit), timeout=60.0)
+            except (asyncio.TimeoutError, asyncio.CancelledError):
+                emit.cancel()
+            writer.close()
+            try:
+                await asyncio.wait_for(writer.wait_closed(), timeout=5.0)
+            except (asyncio.TimeoutError, asyncio.CancelledError, *_WRITE_FAILURES):
+                pass
+            if task is not None:
+                self._conn_tasks.discard(task)
+
+    async def _read_loop(
+        self, reader: asyncio.StreamReader, conn: _Connection
+    ) -> None:
+        while True:
+            line = await reader.readline()
+            if not line:
+                return  # client EOF
+            text = line.decode("utf-8", errors="replace").strip()
+            if not text:
+                continue
+            conn.queue.put_nowait(self._route(text, conn))
+            # Round-robin fairness: yield after every admission so
+            # pipelined connections interleave one request at a time
+            # instead of one socket being drained dry first.
+            await asyncio.sleep(0)
+
+    def _route(self, text: str, conn: _Connection) -> Any:
+        """One request line -> FIFO item: a response payload (parse
+        error, rejection, stats) or the admitted request's future."""
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as exc:
+            return error_response("", "?", f"bad JSON: {exc}")
+        if isinstance(payload, dict) and payload.get("kind") == STATS_KIND:
+            return self._stats_envelope(payload)
+        parsed = parse_request_payload(payload)
+        if isinstance(parsed, RealizationResponse):
+            return parsed  # parse error: already an ERROR envelope
+        return self._admit(parsed, conn)
+
+    def _admit(self, request: Any, conn: _Connection) -> Any:
+        """Admission control: dispatch within the window, typed
+        rejection beyond it.  Rejected requests are never executed."""
+        if self._draining:
+            self.rejected += 1
+            return error_response(
+                request.request_id, request.kind,
+                "server is draining; request rejected",
+                code=ADMISSION_REJECTED,
+            )
+        if self._inflight >= self.window:
+            self.rejected += 1
+            return error_response(
+                request.request_id, request.kind,
+                f"in-flight window full ({self.window}); back off and retry",
+                code=ADMISSION_REJECTED,
+            )
+        share = max(1, self.window // max(1, len(self._connections)))
+        if conn.inflight >= share:
+            self.rejected += 1
+            return error_response(
+                request.request_id, request.kind,
+                f"per-connection fair share exhausted "
+                f"({share} of window {self.window}); back off and retry",
+                code=ADMISSION_REJECTED,
+            )
+        self._inflight += 1
+        conn.inflight += 1
+        if self.executor.mode == "processes":
+            # The async pool path — and deliberately the non-reopening
+            # _submit: a racing close() must resolve the future, not
+            # resurrect the pool.
+            cfut = self.executor._submit(request, Future())
+        else:
+            assert self._threads is not None
+            cfut = self._threads.submit(self.executor.handle, request)
+        cfut.add_done_callback(lambda _f, c=conn: self._release_threadsafe(c))
+        return asyncio.wrap_future(cfut, loop=self._loop)
+
+    def _release_threadsafe(self, conn: _Connection) -> None:
+        try:
+            assert self._loop is not None
+            self._loop.call_soon_threadsafe(self._release, conn)
+        except RuntimeError:  # loop already closed (forced teardown)
+            pass
+
+    def _release(self, conn: _Connection) -> None:
+        self._inflight -= 1
+        conn.inflight -= 1
+
+    async def _emit_loop(self, conn: _Connection) -> None:
+        """Drain one connection's FIFO to its socket, in order."""
+        while True:
+            item = await conn.queue.get()
+            if item is _EOF:
+                return
+            if isinstance(item, RealizationResponse):
+                payload = item.to_dict()
+            elif isinstance(item, dict):
+                payload = item  # stats envelope
+            else:
+                try:
+                    response = await item
+                except asyncio.CancelledError:
+                    if item.cancelled():
+                        continue  # future killed in forced teardown
+                    raise  # the emit task itself was cancelled
+                payload = response.to_dict()
+            self.handled += 1
+            if payload.get("verdict") == "ERROR":
+                self.errors += 1
+            if conn.broken:
+                continue  # keep consuming so futures stay observed
+            try:
+                conn.writer.write((json.dumps(payload) + "\n").encode())
+                await conn.writer.drain()
+            except _WRITE_FAILURES:
+                # The client stopped reading.  Stop writing, but keep
+                # draining the FIFO: in-flight futures must still be
+                # awaited (observed) and released from the window.
+                conn.broken = True
+
+    # ------------------------------------------------------------------ #
+    # Introspection                                                      #
+    # ------------------------------------------------------------------ #
+
+    def _stats_envelope(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        """The ``kind="stats"`` response: executor counters (cache,
+        coalescing, crashes, latency percentiles) plus server-side
+        admission state.  Answered inline on the event loop — never
+        queued behind realization work."""
+        request_id = payload.get("request_id", "")
+        return {
+            "request_id": str(request_id) if request_id is not None else "",
+            "kind": STATS_KIND,
+            "ok": True,
+            "verdict": "STATS",
+            "executor": self.executor.stats(),
+            "server": {
+                "host": self.host,
+                "port": self.port,
+                "window": self.window,
+                "inflight": self._inflight,
+                "connections": len(self._connections),
+                "connections_total": self.connections_total,
+                "handled": self.handled,
+                "errors": self.errors,
+                "rejected": self.rejected,
+                "draining": self._draining,
+            },
+        }
+
+
+def serve_socket(
+    executor: Optional[BatchExecutor] = None,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    window: Optional[int] = None,
+    ready: Optional[Callable[[SocketServer], None]] = None,
+    install_signal_handlers: bool = True,
+) -> Tuple[int, int]:
+    """Blocking socket-serve entry point (the CLI shape).
+
+    Runs a fresh event loop hosting a :class:`SocketServer` until a
+    graceful drain completes (SIGTERM/SIGINT, when signal handlers are
+    installable).  ``ready`` is invoked once the server is bound — with
+    ``port=0`` that is how callers learn the real port.  Returns
+    ``(handled, errors)``, matching :func:`serve`.
+    """
+    if executor is None:
+        executor = BatchExecutor(pool=NetworkPool())
+
+    async def _run() -> Tuple[int, int]:
+        server = await SocketServer(
+            executor, host=host, port=port, window=window
+        ).start()
+        if install_signal_handlers:
+            loop = asyncio.get_running_loop()
+            for sig in (signal.SIGTERM, signal.SIGINT):
+                try:
+                    loop.add_signal_handler(sig, server.drain)
+                except (NotImplementedError, RuntimeError, ValueError):
+                    pass  # platform/thread without signal support
+        if ready is not None:
+            ready(server)
+        return await server.wait_done()
+
+    return asyncio.run(_run())

@@ -149,7 +149,63 @@ class TestServiceCLI:
         assert rows[0]["request_id"] == "s1"
         assert rows[0]["verdict"] == "REALIZED"
 
-    def test_profile_accepts_registry_scenarios(self, capsys):
+    def test_serve_error_responses_exit_nonzero(self, capsys, monkeypatch):
+        """serve must propagate errors in its exit code like batch does."""
+        import io
+        import json
+        import sys as _sys
+
+        monkeypatch.setattr(_sys, "stdin", io.StringIO("not json at all\n"))
+        assert main(["serve"]) == 1
+        captured = capsys.readouterr()
+        rows = [json.loads(line) for line in captured.out.splitlines()]
+        assert rows[0]["verdict"] == "ERROR"
+        assert "1 error(s)" in captured.err
+
+    def test_serve_window_validated_at_the_cli(self):
+        with pytest.raises(SystemExit, match="window"):
+            main(["serve", "--window", "0"])
+        with pytest.raises(SystemExit, match="window"):
+            main(["serve", "--window", "-4"])
+
+    def test_serve_port_validated_at_the_cli(self):
+        with pytest.raises(SystemExit, match="--port"):
+            main(["serve", "--port", "70000"])
+        with pytest.raises(SystemExit, match="--port"):
+            main(["serve", "--port", "-1"])
+
+    def test_serve_stdio_honours_window_flag(self, capsys, monkeypatch):
+        import io
+        import json
+        import sys as _sys
+
+        monkeypatch.setattr(
+            _sys, "stdin",
+            io.StringIO(
+                '{"request_id": "w1", "kind": "tree", "scenario": "tree_star",'
+                ' "n": 8}\n'
+            ),
+        )
+        assert main(["serve", "--window", "1"]) == 0
+        rows = [json.loads(line) for line in capsys.readouterr().out.splitlines()]
+        assert rows[0]["verdict"] == "REALIZED"
+
+    def test_batch_summary_reflects_live_stats(self, tmp_path, capsys):
+        """Regression: the summary counters were read after close()."""
+        path = tmp_path / "requests.jsonl"
+        request = (
+            '{{"request_id": "{rid}", "kind": "degree_implicit",'
+            ' "scenario": "regular", "n": 12, "seed": 3}}'
+        )
+        path.write_text(
+            request.format(rid="c1") + "\n" + request.format(rid="c2")
+        )
+        assert main(["batch", str(path)]) == 0
+        err = capsys.readouterr().err
+        # Identical computations: one execution (one pool lease), one
+        # cache hit — visible only if stats were captured pre-close.
+        assert "cache hits 1" in err
+        assert "pool hits 0/1" in err
         assert main(["profile", "tree_random", "--n", "12", "--top", "3"]) == 0
         out = capsys.readouterr().out
         assert "profile: tree_random" in out

@@ -132,7 +132,7 @@ class TestStreamingServe:
             response = harness.recv()  # must arrive before the next write
             assert response["request_id"] == f"r{i}"
             assert response["verdict"] == "REALIZED"
-        assert harness.finish() == 3
+        assert harness.finish() == (3, 0)
 
     def test_pipelined_lines_emit_in_input_order(self, processes_executor):
         """A burst of lines (slow first) still comes back in input order."""
@@ -142,7 +142,7 @@ class TestStreamingServe:
             harness.send(line(f"q{i}", n=12, seed=i))
         got = [harness.recv()["request_id"] for _ in range(4)]
         assert got == ["slow", "q0", "q1", "q2"]
-        assert harness.finish() == 4
+        assert harness.finish() == (4, 0)
 
     def test_parse_errors_interleave_without_stalling(self, processes_executor):
         harness = _ServeHarness(processes_executor)
@@ -151,7 +151,7 @@ class TestStreamingServe:
         assert bad["verdict"] == "ERROR" and "bad JSON" in bad["error"]
         harness.send(line("after"))
         assert harness.recv()["request_id"] == "after"
-        assert harness.finish() == 2
+        assert harness.finish() == (2, 1)
 
     def test_repeated_requests_hit_the_parent_cache(self, processes_executor):
         harness = _ServeHarness(processes_executor)
@@ -159,7 +159,7 @@ class TestStreamingServe:
         first = harness.recv()
         harness.send(line("second", seed=9))
         second = harness.recv()
-        assert harness.finish() == 2
+        assert harness.finish() == (2, 0)
         assert not first["cached"] and second["cached"]
         fields = lambda r: {k: v for k, v in r.items()
                             if k not in ("request_id", "cached", "elapsed_sec")}
@@ -181,7 +181,7 @@ class TestStreamingServe:
             assert crashed["error_code"] == "WORKER_CRASHED"
             harness.send(line("ok1", seed=2))  # the stream keeps serving
             assert harness.recv()["verdict"] == "REALIZED"
-            assert harness.finish() == 3
+            assert harness.finish() == (3, 1)
             assert executor.stats()["worker_crashes"] >= 1
         finally:
             executor_module._CRASH_REQUEST_IDS = frozenset()
@@ -224,7 +224,7 @@ class TestStreamingServe:
         executor = BatchExecutor(pool=NetworkPool(), registry=default_registry())
         out = io.StringIO()
         handled = serve(io.StringIO(line("a") + "\n" + line("b") + "\n"), out, executor)
-        assert handled == 2
+        assert handled == (2, 0)
         ids = [json.loads(text)["request_id"] for text in out.getvalue().splitlines()]
         assert ids == ["a", "b"]
 
@@ -295,6 +295,130 @@ class TestSubmitApi:
         assert all(r is not None for r in responses)
         assert executor._process_pool is None  # nothing resurrected it
         executor.close()  # still idempotent
+
+
+class TestServeWindowKnob:
+    def test_validate_window_rule(self):
+        from repro.service import SERVE_STREAM_WINDOW, validate_window
+
+        assert validate_window(None) == SERVE_STREAM_WINDOW
+        assert validate_window(1) == 1
+        assert validate_window(512) == 512
+        for bad in (0, -3, True, 2.5, "8"):
+            with pytest.raises(ValueError, match="window"):
+                validate_window(bad)
+
+    def test_serve_rejects_bad_window_before_reading(self):
+        import io
+
+        executor = BatchExecutor(pool=NetworkPool(), registry=default_registry())
+        with pytest.raises(ValueError, match="window"):
+            serve(io.StringIO(line("x") + "\n"), io.StringIO(), executor, window=0)
+
+    def test_streaming_with_window_one_stays_in_order(self, processes_executor):
+        """The plumbed knob reaches the bounded queue: the tightest
+        window still drains a pipelined burst correctly and in order."""
+        source = _LineSource()
+        sink = _LineSink()
+        result = []
+
+        def run():
+            result.append(serve(source, sink, processes_executor, window=1))
+
+        thread = threading.Thread(target=run, daemon=True)
+        thread.start()
+        for i in range(4):
+            source.put(line(f"w{i}", n=12, seed=i))
+        source.close()
+        got = [json.loads(sink.lines.get(timeout=120))["request_id"]
+               for _ in range(4)]
+        thread.join(timeout=60)
+        assert not thread.is_alive()
+        assert got == [f"w{i}" for i in range(4)]
+        assert result == [(4, 0)]
+
+
+class TestExecutorLifecycle:
+    def test_stats_freeze_at_close_and_thaw_on_reopen(self):
+        """cmd_batch's summary bug: stats() after close() must describe
+        the executor as it was at close time, not a torn-down pool."""
+        executor = BatchExecutor(pool=NetworkPool(), registry=default_registry())
+        executor.handle(req(seed=1, request_id="x"))
+        live = executor.stats()
+        assert live["closed"] is False and live["requests_handled"] == 1
+        executor.close()
+        frozen = executor.stats()
+        assert frozen["closed"] is True
+        assert frozen["requests_handled"] == 1
+        assert frozen["pool"] == live["pool"]  # close-time snapshot
+        # Public entry points re-open; stats go live again.
+        executor.handle(req(seed=2, request_id="y"))
+        thawed = executor.stats()
+        assert thawed["closed"] is False and thawed["requests_handled"] == 2
+        executor.close()
+
+    def test_latency_recorder_percentiles(self):
+        from repro.service import LatencyRecorder
+
+        recorder = LatencyRecorder()
+        assert recorder.snapshot() == {
+            "count": 0, "mean_ms": 0.0, "p50_ms": 0.0, "p99_ms": 0.0,
+        }
+        for ms in range(1, 101):
+            recorder.record(ms / 1000.0)
+        snap = recorder.snapshot()
+        assert snap["count"] == 100
+        assert snap["p50_ms"] == 50.0  # nearest-rank
+        assert snap["p99_ms"] == 99.0
+        assert snap["mean_ms"] == 50.5
+        with pytest.raises(ValueError):
+            LatencyRecorder(capacity=0)
+
+    def test_handle_records_latency(self):
+        executor = BatchExecutor(pool=NetworkPool(), registry=default_registry())
+        executor.handle(req(seed=1, request_id="l1"))
+        executor.handle(req(seed=1, request_id="l2"))  # cache hit counts too
+        latency = executor.stats()["latency"]
+        assert latency["count"] == 2
+        assert latency["p99_ms"] >= latency["p50_ms"] >= 0.0
+
+    def test_drain_pending_cancels_and_observes_futures(self):
+        """The writer-failure drain must not abandon in-flight futures:
+        pending ones are cancelled, completed ones observed (so no
+        'exception was never retrieved' teardown noise)."""
+        from concurrent.futures import Future
+        from queue import Queue
+
+        from repro.service.executor import _drain_pending
+
+        q = Queue()
+        pending = Future()  # never started: cancel() must succeed
+        failed = Future()
+        failed.set_running_or_notify_cancel()
+        failed.set_exception(RuntimeError("boom"))
+        done = Future()
+        done.set_running_or_notify_cancel()
+        done.set_result("ok")
+        for item in (pending, failed, done, "payload"):
+            q.put(item)
+        assert _drain_pending(q) == 4
+        assert q.empty()
+        assert pending.cancelled()
+        assert isinstance(failed.exception(timeout=0), RuntimeError)
+        assert done.result(timeout=0) == "ok"
+
+    def test_resolve_future_tolerates_racing_cancellation(self):
+        from concurrent.futures import Future
+
+        from repro.service import error_response
+        from repro.service.executor import _resolve_future
+
+        cancelled = Future()
+        cancelled.cancel()
+        _resolve_future(cancelled, error_response("x", "?", "late"))  # no raise
+        live = Future()
+        _resolve_future(live, error_response("y", "?", "msg"))
+        assert live.result(timeout=0).verdict == "ERROR"
 
 
 class TestWordCacheBound:

@@ -137,7 +137,7 @@ class TestRequestEnvelope:
             ]
         )
         out = io.StringIO()
-        assert serve(io.StringIO(lines), out) == 3  # the stream survives
+        assert serve(io.StringIO(lines), out) == (3, 2)  # the stream survives
         rows = [json.loads(line) for line in out.getvalue().splitlines()]
         assert [r["verdict"] for r in rows] == ["ERROR", "ERROR", "REALIZED"]
         assert [r["request_id"] for r in rows] == ["p1", "p2", "p3"]
@@ -392,7 +392,7 @@ class TestJSONLFrontEnds:
         )
         out = io.StringIO()
         handled = serve(io.StringIO(requests), out)
-        assert handled == 3
+        assert handled == (3, 1)
         rows = [json.loads(line) for line in out.getvalue().splitlines()]
         assert [row["verdict"] for row in rows] == ["REALIZED", "ERROR", "REALIZED"]
         assert rows[2]["cached"] is True

@@ -1,0 +1,388 @@
+"""The asyncio TCP serve front end (``repro.service.server``).
+
+The acceptance properties: concurrent clients each see *their* responses
+in *their* input order, field-identical to a sequential run of the same
+requests (the executor's bit-identical guarantees hold over the socket);
+admission control answers overflow with typed ``ADMISSION_REJECTED``
+envelopes instead of queueing or stalling; a graceful drain finishes
+in-flight work and rejects the rest; and a worker crash mid-connection
+is enveloped and the connection keeps serving.
+
+The tests run client and server on one event loop per test (real TCP on
+127.0.0.1, ephemeral ports).  The crash test primes the process pool
+*before* any socket exists: fork-started workers inherit every open fd,
+and a duplicated socket fd in a worker would defeat EOF — the CI smoke
+step covers the real-subprocess arrangement.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import multiprocessing
+import socket
+import threading
+
+import pytest
+
+import repro.service.executor as executor_module
+from repro.service import (
+    BatchExecutor,
+    NetworkPool,
+    RealizationRequest,
+    RealizationResponse,
+    SocketServer,
+    default_registry,
+    serve_socket,
+)
+from repro.service.server import ADMISSION_REJECTED
+
+HAS_FORK = "fork" in multiprocessing.get_all_start_methods()
+
+
+def line(request_id, n=16, seed=1, kind="degree_implicit", scenario="regular"):
+    return json.dumps(
+        {"request_id": request_id, "kind": kind, "scenario": scenario,
+         "n": n, "seed": seed}
+    )
+
+
+def req_of(text):
+    return RealizationRequest.from_dict(json.loads(text))
+
+
+def strip(row):
+    """Response fields minus identity and measurement volatiles."""
+    return {k: v for k, v in row.items()
+            if k not in ("request_id", "cached", "elapsed_sec")}
+
+
+def run(coro, timeout=120):
+    return asyncio.run(asyncio.wait_for(coro, timeout=timeout))
+
+
+async def send(writer, text):
+    writer.write((text + "\n").encode())
+    await writer.drain()
+
+
+async def recv(reader, timeout=60):
+    raw = await asyncio.wait_for(reader.readline(), timeout=timeout)
+    assert raw, "connection closed before the expected response"
+    return json.loads(raw)
+
+
+async def close(writer):
+    writer.close()
+    await writer.wait_closed()
+
+
+class _BlockingExecutor:
+    """Executor stub whose handle() blocks until the test releases it —
+    deterministic in-flight occupancy for the admission-control tests."""
+
+    mode = "sequential"
+    workers = 1
+
+    def __init__(self):
+        self.release = threading.Event()
+        self.started = threading.Event()
+
+    def handle(self, request):
+        self.started.set()
+        assert self.release.wait(timeout=60), "test never released the stub"
+        return RealizationResponse(
+            request_id=request.request_id, kind=request.kind,
+            ok=True, verdict="REALIZED",
+        )
+
+    def stats(self):
+        return {"stub": True}
+
+
+class TestSocketServe:
+    def test_single_client_in_order_and_bit_identical(self):
+        lines = [
+            line("a", n=12, seed=1),
+            line("b", n=10, seed=2, kind="tree", scenario="tree_random"),
+            line("c", n=10, seed=3, kind="connectivity", scenario="rho_uniform"),
+        ]
+        baseline_executor = BatchExecutor(
+            pool=NetworkPool(), registry=default_registry()
+        )
+        baseline = [
+            baseline_executor.handle(req_of(text)).to_dict() for text in lines
+        ]
+        executor = BatchExecutor(pool=NetworkPool(), registry=default_registry())
+
+        async def scenario():
+            server = await SocketServer(executor, port=0, window=8).start()
+            reader, writer = await asyncio.open_connection("127.0.0.1", server.port)
+            for text in lines:
+                await send(writer, text)
+            rows = [await recv(reader) for _ in lines]
+            await close(writer)
+            server.drain()
+            return rows, await server.wait_done()
+
+        try:
+            rows, (handled, errors) = run(scenario())
+        finally:
+            executor.close()
+        assert [r["request_id"] for r in rows] == ["a", "b", "c"]
+        assert [strip(r) for r in rows] == [strip(r) for r in baseline]
+        assert (handled, errors) == (3, 0)
+
+    def test_two_clients_interleave_in_order_and_bit_identical(self):
+        lines_a = [line(f"a{i}", n=12, seed=i) for i in range(4)]
+        lines_b = [
+            line(f"b{i}", n=10, seed=10 + i, kind="tree", scenario="tree_random")
+            for i in range(4)
+        ]
+        baseline_executor = BatchExecutor(
+            pool=NetworkPool(), registry=default_registry()
+        )
+        baseline = {
+            json.loads(text)["request_id"]:
+                baseline_executor.handle(req_of(text)).to_dict()
+            for text in lines_a + lines_b
+        }
+        executor = BatchExecutor(pool=NetworkPool(), registry=default_registry())
+
+        async def client(port, lines):
+            reader, writer = await asyncio.open_connection("127.0.0.1", port)
+            for text in lines:  # pipelined: all lines up front
+                await send(writer, text)
+            rows = [await recv(reader) for _ in lines]
+            await close(writer)
+            return rows
+
+        async def scenario():
+            server = await SocketServer(executor, port=0, window=16).start()
+            rows_a, rows_b = await asyncio.gather(
+                client(server.port, lines_a), client(server.port, lines_b)
+            )
+            server.drain()
+            return rows_a, rows_b, await server.wait_done()
+
+        try:
+            rows_a, rows_b, (handled, errors) = run(scenario())
+        finally:
+            executor.close()
+        # Per-connection input order survives the interleaving.
+        assert [r["request_id"] for r in rows_a] == [f"a{i}" for i in range(4)]
+        assert [r["request_id"] for r in rows_b] == [f"b{i}" for i in range(4)]
+        # And every response is field-identical to the sequential run.
+        for row in rows_a + rows_b:
+            assert strip(row) == strip(baseline[row["request_id"]])
+        assert (handled, errors) == (8, 0)
+
+    def test_window_overflow_rejected_typed_and_in_order(self):
+        stub = _BlockingExecutor()
+
+        async def scenario():
+            server = await SocketServer(stub, port=0, window=2).start()
+            reader, writer = await asyncio.open_connection("127.0.0.1", server.port)
+            for i in range(3):  # window 2: the third must be rejected
+                await send(writer, line(f"w{i}"))
+            while server.rejected < 1:
+                await asyncio.sleep(0.01)
+            stub.release.set()
+            rows = [await recv(reader) for _ in range(3)]
+            await close(writer)
+            server.drain()
+            return rows, await server.wait_done()
+
+        rows, (handled, errors) = run(scenario())
+        # In-order: the two admitted responses land first, the rejection
+        # envelope (emitted instantly at admission time) stays third.
+        assert [r["request_id"] for r in rows] == ["w0", "w1", "w2"]
+        assert [r["verdict"] for r in rows] == ["REALIZED", "REALIZED", "ERROR"]
+        assert rows[2]["error_code"] == ADMISSION_REJECTED
+        assert "window full" in rows[2]["error"]
+        assert (handled, errors) == (3, 1)
+        assert server_counts_match(rows, handled, errors)
+
+    def test_per_connection_fair_share(self):
+        """One greedy client cannot monopolize the window while another
+        connection is open: its share is window // connections."""
+        stub = _BlockingExecutor()
+
+        async def scenario():
+            server = await SocketServer(stub, port=0, window=4).start()
+            reader_a, writer_a = await asyncio.open_connection(
+                "127.0.0.1", server.port
+            )
+            reader_b, writer_b = await asyncio.open_connection(
+                "127.0.0.1", server.port
+            )
+            while server.connections_total < 2:  # both registered
+                await asyncio.sleep(0.01)
+            for i in range(3):  # share = 4 // 2 = 2: the third is rejected
+                await send(writer_a, line(f"f{i}"))
+            while server.rejected < 1:
+                await asyncio.sleep(0.01)
+            stub.release.set()
+            rows = [await recv(reader_a) for _ in range(3)]
+            await close(writer_a)
+            await close(writer_b)
+            server.drain()
+            await server.wait_done()
+            return rows
+
+        rows = run(scenario())
+        assert [r["verdict"] for r in rows] == ["REALIZED", "REALIZED", "ERROR"]
+        assert rows[2]["error_code"] == ADMISSION_REJECTED
+        assert "fair share" in rows[2]["error"]
+
+    def test_graceful_drain_finishes_in_flight_rejects_new(self):
+        stub = _BlockingExecutor()
+
+        async def scenario():
+            server = await SocketServer(stub, port=0, window=4).start()
+            reader, writer = await asyncio.open_connection("127.0.0.1", server.port)
+            await send(writer, line("inflight"))
+            while not stub.started.is_set():
+                await asyncio.sleep(0.01)
+            server.drain()  # SIGTERM path: finish in-flight, reject new
+            await send(writer, line("late"))
+            while server.rejected < 1:
+                await asyncio.sleep(0.01)
+            stub.release.set()
+            first = await recv(reader)
+            second = await recv(reader)
+            counts = await server.wait_done()
+            return first, second, counts
+
+        first, second, counts = run(scenario())
+        assert first["request_id"] == "inflight"
+        assert first["verdict"] == "REALIZED"
+        assert second["request_id"] == "late"
+        assert second["error_code"] == ADMISSION_REJECTED
+        assert "draining" in second["error"]
+        assert counts == (2, 1)
+
+    def test_stats_kind_reports_executor_and_server_counters(self):
+        executor = BatchExecutor(pool=NetworkPool(), registry=default_registry())
+
+        async def scenario():
+            server = await SocketServer(executor, port=0, window=5).start()
+            reader, writer = await asyncio.open_connection("127.0.0.1", server.port)
+            await send(writer, line("warm", n=12, seed=4))
+            assert (await recv(reader))["verdict"] == "REALIZED"
+            await send(writer, json.dumps({"request_id": "st", "kind": "stats"}))
+            stats = await recv(reader)
+            await close(writer)
+            server.drain()
+            await server.wait_done()
+            return stats
+
+        try:
+            stats = run(scenario())
+        finally:
+            executor.close()
+        assert stats["verdict"] == "STATS" and stats["ok"] is True
+        assert stats["request_id"] == "st"
+        ex = stats["executor"]
+        assert ex["requests_handled"] == 1
+        assert ex["latency"]["count"] == 1
+        assert set(ex["latency"]) == {"count", "mean_ms", "p50_ms", "p99_ms"}
+        srv = stats["server"]
+        assert srv["window"] == 5
+        assert srv["connections"] == 1
+        assert srv["handled"] == 1  # the realization; stats not yet emitted
+        assert srv["rejected"] == 0 and srv["draining"] is False
+
+    @pytest.mark.skipif(not HAS_FORK, reason="crash probe needs fork inheritance")
+    def test_worker_crash_mid_connection_is_typed_and_recovers(self):
+        executor_module._CRASH_REQUEST_IDS = frozenset({"boom"})
+        executor = BatchExecutor(pool=NetworkPool(), registry=default_registry(),
+                                 cache_responses=False, mode="processes",
+                                 workers=2)
+        try:
+            # Prime the worker pool before any socket exists: fork-started
+            # workers inherit open fds, and a duplicated socket fd inside
+            # a worker would defeat client EOF semantics.
+            assert executor.submit(
+                req_of(line("prime", seed=77))
+            ).result(timeout=120).verdict == "REALIZED"
+
+            async def scenario():
+                server = await SocketServer(executor, port=0, window=4).start()
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", server.port
+                )
+                rows = []
+                for text in (line("ok0", seed=1), line("boom", seed=99),
+                             line("ok1", seed=2)):
+                    await send(writer, text)
+                    rows.append(await recv(reader, timeout=120))
+                await close(writer)
+                server.drain()
+                return rows, await server.wait_done()
+
+            rows, (handled, errors) = run(scenario(), timeout=300)
+        finally:
+            executor_module._CRASH_REQUEST_IDS = frozenset()
+            executor.close()
+        assert [r["request_id"] for r in rows] == ["ok0", "boom", "ok1"]
+        assert rows[0]["verdict"] == "REALIZED"
+        assert rows[1]["verdict"] == "ERROR"
+        assert rows[1]["error_code"] == "WORKER_CRASHED"
+        assert rows[2]["verdict"] == "REALIZED"  # the connection recovered
+        assert (handled, errors) == (3, 1)
+        assert executor.stats()["worker_crashes"] >= 1
+
+    def test_window_validation_matches_stdio_rule(self):
+        executor = _BlockingExecutor()
+        for bad in (0, -1, True, 2.5):
+            with pytest.raises(ValueError, match="window"):
+                SocketServer(executor, window=bad)
+        assert SocketServer(executor, window=None).window == \
+            executor_module.SERVE_STREAM_WINDOW
+
+    def test_serve_socket_blocking_entry_returns_counts(self):
+        """The CLI shape: serve_socket blocks a thread, ready() reveals
+        the bound port, drain ends it with (handled, errors)."""
+        executor = BatchExecutor(pool=NetworkPool(), registry=default_registry())
+        started = threading.Event()
+        holder = {}
+
+        def ready(server):
+            holder["server"] = server
+            started.set()
+
+        def runner():
+            holder["counts"] = serve_socket(
+                executor, port=0, window=4, ready=ready,
+                install_signal_handlers=False,  # not the main thread
+            )
+
+        thread = threading.Thread(target=runner, daemon=True)
+        thread.start()
+        try:
+            assert started.wait(timeout=30)
+            server = holder["server"]
+            with socket.create_connection(("127.0.0.1", server.port), timeout=30) as sock:
+                sock.sendall((line("cli", n=12, seed=6) + "\n").encode())
+                sock.sendall(b'not json\n')
+                stream = sock.makefile("r")
+                good = json.loads(stream.readline())
+                bad = json.loads(stream.readline())
+            assert good["request_id"] == "cli" and good["verdict"] == "REALIZED"
+            assert bad["verdict"] == "ERROR" and "bad JSON" in bad["error"]
+        finally:
+            server = holder.get("server")
+            if server is not None and server._loop is not None:
+                server._loop.call_soon_threadsafe(server.drain)
+            thread.join(timeout=60)
+            executor.close()
+        assert not thread.is_alive(), "serve_socket did not drain"
+        assert holder["counts"] == (2, 1)
+
+
+def server_counts_match(rows, handled, errors):
+    """Emitted rows reconcile with the server's counters."""
+    return handled == len(rows) and errors == sum(
+        1 for r in rows if r["verdict"] == "ERROR"
+    )
