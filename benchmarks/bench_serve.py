@@ -34,24 +34,37 @@ the slower socket mode must sustain at least
 event-loop overhead must not dominate realization work), with zero
 admission rejections at the default-sized window.  Wall-clock timing:
 the event loop and client coroutines share the process.
+
+A fourth row, ``serve_chaos``, replays the serve stack under injected
+faults (seeded :class:`~repro.service.faults.FaultPlan`): a hung worker
+with a request deadline (the watchdog must answer a typed
+``WORKER_TIMEOUT``) and a crashing worker (typed ``WORKER_CRASHED``)
+ride alongside clean traffic on a processes-mode executor; every
+surviving response is asserted field-identical to a clean sequential
+drain, and the row records typed-error counts plus recovery overhead.
+Run standalone with ``python benchmarks/bench_serve.py --chaos``.
 """
 
 from __future__ import annotations
 
 import asyncio
 import json
+import os
 import random
 import time
 
 from common import Experiment
 from repro.service import (
     BatchExecutor,
+    FaultPlan,
+    FaultRule,
     LatencyRecorder,
     NetworkPool,
     RealizationRequest,
     SocketServer,
     default_registry,
 )
+from repro.service import faults
 
 #: Acceptance: min(socket-mode req/s) / direct req/s.
 TARGET_MIN_EFFICIENCY = 0.5
@@ -249,13 +262,190 @@ def measure(reps: int = 2):
     return results
 
 
+# -------------------------------------------------------------------- #
+# Chaos drive: the same serve stack under injected worker faults        #
+# -------------------------------------------------------------------- #
+
+#: Clean requests riding alongside the two faulty ones.
+CHAOS_CLEAN = 12
+
+#: Client connections for the chaos drive (one per faulty request, so
+#: each fault shares a connection with surviving traffic).
+CHAOS_CONNECTIONS = 2
+
+#: Deadline on the hung request — the watchdog must convert the hang
+#: into a typed WORKER_TIMEOUT shortly after this expires.
+CHAOS_DEADLINE_MS = 600
+
+
+def chaos_plan() -> FaultPlan:
+    """The seeded fault plan: one hung worker, one crashing worker."""
+    return FaultPlan(
+        [
+            FaultRule(action="hang", request_ids=("chaos-hang",)),
+            FaultRule(action="crash", request_ids=("chaos-crash",)),
+        ],
+        seed=7,
+    )
+
+
+def _chaos_traffic():
+    clean = build_traffic()[:CHAOS_CLEAN]
+    hang = RealizationRequest(
+        kind="degree_implicit", scenario="regular", n=48, seed=11,
+        request_id="chaos-hang", deadline_ms=CHAOS_DEADLINE_MS,
+    ).validate()
+    crash = RealizationRequest(
+        kind="tree", scenario="tree_random", n=48, seed=11,
+        request_id="chaos-crash",
+    ).validate()
+    return clean, hang, crash
+
+
+async def _drive_chaos(executor, hang, crash, clean):
+    """Two connections: hang + half the clean traffic, then the crash.
+
+    The crash is only sent once the hung request has resolved: a pool
+    break while the hung request is in flight would consume its retry
+    budget and race its typed outcome (WORKER_TIMEOUT vs the co-victim
+    path's WORKER_CRASHED).  Serializing the two faults keeps both
+    outcomes deterministic while clean traffic still rides concurrently
+    with each fault.
+    """
+    server = await SocketServer(executor, port=0, window=WINDOW).start()
+    hang_resolved = asyncio.Event()
+
+    async def _burst(writer, batch):
+        for request in batch:
+            writer.write((json.dumps(request.to_dict()) + "\n").encode())
+        await writer.drain()
+
+    async def conn_a():
+        reader, writer = await asyncio.open_connection("127.0.0.1", server.port)
+        batch = [hang] + clean[0::2]
+        await _burst(writer, batch)
+        got = [json.loads(await reader.readline()) for _ in batch]
+        hang_resolved.set()
+        writer.close()
+        await writer.wait_closed()
+        return got
+
+    async def conn_b():
+        reader, writer = await asyncio.open_connection("127.0.0.1", server.port)
+        batch = clean[1::2]
+        await _burst(writer, batch)
+        got = [json.loads(await reader.readline()) for _ in batch]
+        await hang_resolved.wait()
+        await _burst(writer, [crash])
+        got.append(json.loads(await reader.readline()))
+        writer.close()
+        await writer.wait_closed()
+        return got
+
+    start = time.perf_counter()
+    rows_a, rows_b = await asyncio.gather(conn_a(), conn_b())
+    elapsed = time.perf_counter() - start
+    rejected = server.rejected
+    server.drain()
+    await server.wait_done()
+    return elapsed, rows_a + rows_b, rejected
+
+
+def measure_chaos():
+    """One chaos run: hang + crash injected into live socket traffic.
+
+    A hung worker (deadline ``CHAOS_DEADLINE_MS``) and a crashing worker
+    are injected into a processes-mode serve alongside ``CHAOS_CLEAN``
+    clean requests on ``CHAOS_CONNECTIONS`` pipelined connections.  The
+    row records the typed-error counts and the recovery overhead versus
+    a clean in-process drain of the same surviving requests; every
+    surviving answer is asserted field-identical to that clean drain
+    (fault recovery must not change answers), and the summed
+    rounds/messages over survivors are the regression-guard invariants.
+    """
+    clean, hang, crash = _chaos_traffic()
+    # Clean baseline first (no plan installed): the sequential in-process
+    # answers the chaos survivors must reproduce bit for bit.
+    clean_elapsed, clean_rows, _, _ = _run_direct(clean)
+    canonical = {row["request_id"]: _strip(row) for row in clean_rows}
+
+    previous = os.environ.get(faults.ENV_VAR)
+    os.environ[faults.ENV_VAR] = chaos_plan().to_json()
+    faults.clear()
+    try:
+        executor = BatchExecutor(
+            pool=NetworkPool(), cache_responses=True,
+            registry=default_registry(), mode="processes", workers=2,
+        )
+        try:
+            # Prime the pool before any socket exists (fork inherits fds).
+            assert executor.submit(clean[0]).result(timeout=300).verdict == (
+                "REALIZED"
+            )
+            elapsed, rows, rejected = asyncio.run(
+                _drive_chaos(executor, hang, crash, clean)
+            )
+            stats = executor.stats()
+        finally:
+            executor.close()
+    finally:
+        if previous is None:
+            os.environ.pop(faults.ENV_VAR, None)
+        else:
+            os.environ[faults.ENV_VAR] = previous
+        faults.clear()
+
+    assert rejected == 0
+    by_id = {row["request_id"]: row for row in rows}
+    assert by_id["chaos-hang"].get("error_code") == "WORKER_TIMEOUT", (
+        f"hung request not watchdogged: {by_id['chaos-hang']}"
+    )
+    assert by_id["chaos-crash"].get("error_code") == "WORKER_CRASHED", (
+        f"crashing request not typed: {by_id['chaos-crash']}"
+    )
+    ok = {
+        rid: _strip(row)
+        for rid, row in by_id.items()
+        if row.get("ok")  # REALIZED / APPROXIMATED — any successful verdict
+    }
+    assert ok == canonical, (
+        "chaos recovery changed a surviving answer — fault handling must "
+        "be answer-preserving"
+    )
+    assert stats["worker_timeouts"] >= 1
+    return {
+        "workload": "serve_chaos",
+        "n": 0,  # mixed traffic (n in {48, 96})
+        "requests": CHAOS_CLEAN + 2,
+        "faults": 2,
+        "timeouts": 1,
+        "crashes": 1,
+        "ok": CHAOS_CLEAN,
+        "connections": CHAOS_CONNECTIONS,
+        "window": WINDOW,
+        "rounds": sum(row["rounds"] for row in ok.values()),
+        "messages": sum(row["messages"] for row in ok.values()),
+        "rejected": 0,
+        "elapsed_sec": round(elapsed, 4),
+        "clean_elapsed_sec": round(clean_elapsed, 4),
+        "recovery_overhead_sec": round(max(0.0, elapsed - clean_elapsed), 4),
+    }
+
+
 _results_cache = {}
+
+
+def chaos_results():
+    """The ``serve_chaos`` row; cached per process."""
+    if "chaos" not in _results_cache:
+        _results_cache["chaos"] = measure_chaos()
+    return _results_cache["chaos"]
 
 
 def bench_results(reps: int = 2):
     """The BENCH_serve.json payload rows; cached per process."""
     if reps not in _results_cache:
-        _results_cache[reps] = measure(reps=reps)
+        _results_cache[reps] = measure(reps=reps) + [chaos_results()]
     return _results_cache[reps]
 
 
@@ -277,16 +467,17 @@ def experiment() -> Experiment:
         [
             r["workload"],
             r["requests"],
-            r["connections"] or "—",
+            r.get("connections") or "—",
             f"{r['elapsed_sec']:.3f}s",
-            f"{r['requests_per_sec']:,}",
-            f"{r['p50_ms']:.1f}",
-            f"{r['p99_ms']:.1f}",
+            f"{r['requests_per_sec']:,}" if "requests_per_sec" in r else "—",
+            f"{r['p50_ms']:.1f}" if "p50_ms" in r else "—",
+            f"{r['p99_ms']:.1f}" if "p99_ms" in r else "—",
             r["rejected"],
         ]
         for r in results
     ]
     ratio = efficiency(results)
+    chaos = next(r for r in results if r["workload"] == "serve_chaos")
     return Experiment(
         exp_id="X-SERVE",
         claim="socket front end sustains near-direct throughput for many clients",
@@ -308,7 +499,14 @@ def experiment() -> Experiment:
             "client-observed per request; pipelined latency is sojourn "
             "time from burst start (queueing included).  Slowest-socket/"
             f"direct throughput ratio {ratio:.2f}x "
-            f"(target >= {TARGET_MIN_EFFICIENCY}x)."
+            f"(target >= {TARGET_MIN_EFFICIENCY}x).  The serve_chaos row "
+            "replays the serve stack (processes mode, 2 workers) under a "
+            "seeded FaultPlan — one hung worker (deadline "
+            f"{CHAOS_DEADLINE_MS}ms, watchdogged into WORKER_TIMEOUT) and "
+            "one crashing worker (typed WORKER_CRASHED after retry "
+            f"exhaustion) alongside {CHAOS_CLEAN} clean requests; all "
+            "survivors asserted field-identical to a clean sequential "
+            f"drain, recovery overhead {chaos['recovery_overhead_sec']:.2f}s."
         ),
     )
 
@@ -331,3 +529,24 @@ def test_socket_serve_smoke(benchmark):
     _, rows, _, rejected = benchmark.pedantic(run, rounds=1, iterations=1)
     assert rejected == 0
     assert {row["request_id"]: _strip(row) for row in rows} == direct
+
+
+if __name__ == "__main__":
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        description="Socket serve benchmark (X-SERVE)."
+    )
+    parser.add_argument(
+        "--chaos", action="store_true",
+        help="run only the chaos drive and print the serve_chaos row",
+    )
+    parser.add_argument(
+        "--reps", type=int, default=2,
+        help="best-of reps for the throughput modes (default 2)",
+    )
+    cli = parser.parse_args()
+    if cli.chaos:
+        print(json.dumps(chaos_results(), indent=2))
+    else:
+        print(json.dumps(bench_results(reps=cli.reps), indent=2))

@@ -23,7 +23,10 @@ writing a script:
   pool as their lines arrive, responses are emitted in input order as
   they complete); with ``--port`` it becomes a multi-client TCP socket
   server with bounded admission (``--window``) and typed
-  ``ADMISSION_REJECTED`` overflow responses;
+  ``ADMISSION_REJECTED`` overflow responses; requests may carry a
+  ``deadline_ms`` wall-clock budget (typed ``DEADLINE_EXCEEDED``), and
+  ``--hang-timeout`` arms the processes-mode watchdog (typed
+  ``WORKER_TIMEOUT``);
 * ``profile sorting --n 256 [--top 25] [--sort-by cumulative]`` — run a
   registry scenario under ``cProfile`` and print the hottest functions,
   so perf work starts from data instead of guesses.
@@ -205,6 +208,7 @@ def _make_executor(args):
             cache_responses=not getattr(args, "no_cache", False),
             mode=getattr(args, "mode", "sequential"),
             workers=getattr(args, "workers", 4),
+            hang_timeout=getattr(args, "hang_timeout", None),
         )
     except ValueError as exc:
         raise SystemExit(str(exc))
@@ -267,7 +271,7 @@ def cmd_batch(args) -> int:
 
 
 def cmd_serve(args) -> int:
-    from repro.service import serve
+    from repro.service import ServiceError, serve
     from repro.service.executor import validate_window
 
     try:
@@ -293,7 +297,11 @@ def cmd_serve(args) -> int:
             handled, errors = serve_socket(
                 executor, host=args.host, port=args.port, window=window,
                 ready=ready,
+                emit_timeout=args.emit_timeout,
+                close_timeout=args.close_timeout,
             )
+        except ServiceError as exc:
+            raise SystemExit(str(exc))
         finally:
             executor.close()
     else:
@@ -474,6 +482,24 @@ def build_parser() -> argparse.ArgumentParser:
         "%(default)s -> module default): the stdio streaming path "
         "blocks its reader at the window, the socket server rejects "
         "with error_code=ADMISSION_REJECTED",
+    )
+    p.add_argument(
+        "--emit-timeout", type=float, default=60.0,
+        help="socket server: max seconds to flush a closing "
+        "connection's pending responses (default %(default)s; tightened "
+        "automatically when every request on the connection carries a "
+        "deadline_ms)",
+    )
+    p.add_argument(
+        "--close-timeout", type=float, default=5.0,
+        help="socket server: max seconds to wait for a closing "
+        "connection's transport to shut down (default %(default)s)",
+    )
+    p.add_argument(
+        "--hang-timeout", type=float, default=None,
+        help="processes mode: kill and replace a worker whose request "
+        "runs longer than this many seconds even without a deadline_ms "
+        "(typed WORKER_TIMEOUT; default: off, deadlines still enforced)",
     )
     p.set_defaults(fn=cmd_serve)
 

@@ -85,6 +85,22 @@ class RoundBudgetExceeded(NCCError):
         self.rounds = rounds
 
 
+class DeadlineExceeded(NCCError):
+    """A run crossed its caller-imposed wall-clock deadline.
+
+    The wall-clock sibling of :class:`RoundBudgetExceeded`: a *service*
+    isolation knob (:meth:`~repro.ncc.network.Network.set_wall_deadline`,
+    driven by ``RealizationRequest.deadline_ms``), checked cooperatively
+    at round boundaries so successful runs stay bit-identical.
+    """
+
+    def __init__(self, rounds: int) -> None:
+        super().__init__(
+            f"wall-clock deadline exceeded after {rounds} rounds"
+        )
+        self.rounds = rounds
+
+
 class UnrealizableError(NCCError):
     """Raised by sequential oracles when an input admits no realization.
 

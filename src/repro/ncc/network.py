@@ -31,13 +31,14 @@ from __future__ import annotations
 
 import math
 import random
+import time
 from collections import defaultdict, deque
 from contextlib import contextmanager
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.ncc.config import DEFAULT_CONFIG, NCCConfig, Variant
 from repro.ncc.engine import make_engine
-from repro.ncc.errors import RoundBudgetExceeded
+from repro.ncc.errors import DeadlineExceeded, RoundBudgetExceeded
 from repro.ncc.ids import IdSpace
 from repro.ncc.knowledge import KnowledgeGraph, knowledge_for_variant
 from repro.ncc.message import Message
@@ -167,6 +168,14 @@ class Network:
         # None = unlimited.  Checked in deliver()/charge().
         self.round_budget: Optional[int] = None
 
+        # Caller-imposed wall-clock deadline (absolute, in self.clock()
+        # seconds); None = unlimited.  Checked at the same round
+        # boundaries as the round budget.  ``clock`` is an attribute so
+        # tests can install a fake clock; it survives reset() because it
+        # is a construction-level property, not run state.
+        self.wall_deadline: Optional[float] = None
+        self.clock: Callable[[], float] = time.monotonic
+
         # Round-execution engine (config.engine: "fast" | "reference" |
         # "sharded").  Engines with replicated state expose a note_grant
         # hook so out-of-band knowledge grants reach their replicas.
@@ -217,6 +226,7 @@ class Network:
         self.tracers = []
         self._deferred = defaultdict(deque)
         self.round_budget = None
+        self.wall_deadline = None
         self.engine.reset()
         return self
 
@@ -277,6 +287,9 @@ class Network:
         configured engine (:mod:`repro.ncc.engine`); all engines enforce
         the same semantics and meter identically.
         """
+        deadline = self.wall_deadline
+        if deadline is not None and self.clock() >= deadline:
+            raise DeadlineExceeded(self.rounds)
         inboxes = self.engine.deliver(plan)
         budget = self.round_budget
         if budget is not None and self.rounds > budget:
@@ -322,6 +335,22 @@ class Network:
             raise ValueError(f"round budget must be >= 1, got {budget}")
         self.round_budget = budget
 
+    def set_wall_deadline(self, deadline: Optional[float]) -> None:
+        """Cap wall-clock time for this run.
+
+        ``deadline`` is an *absolute* timestamp on this network's
+        ``clock`` (:func:`time.monotonic` unless a test substitutes a
+        fake).  Crossing it raises
+        :class:`~repro.ncc.errors.DeadlineExceeded` from the next
+        :meth:`deliver`/:meth:`charge` — cooperative cancellation at
+        round boundaries, so a run that finishes in time is bit-identical
+        to an undeadlined run.  Cleared by :meth:`reset`, so pooled
+        leases never inherit a deadline.
+        """
+        if deadline is not None and not isinstance(deadline, (int, float)):
+            raise ValueError(f"wall deadline must be a timestamp, got {deadline!r}")
+        self.wall_deadline = None if deadline is None else float(deadline)
+
     def charge(self, rounds: int, reason: str = "") -> None:
         """Account ``rounds`` rounds for a charged-mode primitive."""
         if rounds < 0:
@@ -331,6 +360,9 @@ class Network:
         budget = self.round_budget
         if budget is not None and self.rounds > budget:
             raise RoundBudgetExceeded(budget, self.rounds)
+        deadline = self.wall_deadline
+        if deadline is not None and self.clock() >= deadline:
+            raise DeadlineExceeded(self.rounds)
 
     @contextmanager
     def phase(self, label: str):

@@ -378,8 +378,16 @@ def _worker_main(conn, init: dict) -> None:  # pragma: no cover - subprocess
 # ---------------------------------------------------------------------- #
 
 
-def _shutdown_workers(conns, procs) -> None:
-    """Finalizer: stop worker processes without referencing the engine."""
+def _shutdown_workers(conns, procs, escalations=None) -> None:
+    """Finalizer: stop worker processes without referencing the engine.
+
+    Escalates per process: cooperative ``stop`` + join, then
+    ``terminate()`` (SIGTERM), then ``kill()`` (SIGKILL) — a wedged
+    worker can never leak past close().  ``escalations`` is a plain
+    mutable dict (never the engine: the finalizer must not keep it
+    alive) whose ``"terminated"``/``"killed"`` counts feed the engine's
+    teardown stats.
+    """
     for conn in conns:
         try:
             conn.send(("stop",))
@@ -388,7 +396,14 @@ def _shutdown_workers(conns, procs) -> None:
     for proc in procs:
         proc.join(timeout=2.0)
         if proc.is_alive():  # pragma: no cover - stuck worker
+            if escalations is not None:
+                escalations["terminated"] += 1
             proc.terminate()
+            proc.join(timeout=2.0)
+        if proc.is_alive():  # pragma: no cover - SIGTERM ignored
+            if escalations is not None:
+                escalations["killed"] += 1
+            proc.kill()
             proc.join(timeout=2.0)
     for conn in conns:
         try:
@@ -423,6 +438,10 @@ class ShardedEngine:
         self._procs: list = []
         self._grants: List[Tuple[int, int]] = []
         self._finalizer = None
+        # Teardown escalation counters, updated in place by the
+        # _shutdown_workers finalizer (shared dict, not engine attrs, so
+        # the finalizer holds no reference to the engine).
+        self.teardown_escalations: Dict[str, int] = {"terminated": 0, "killed": 0}
 
     # -- lifecycle --------------------------------------------------- #
 
@@ -464,7 +483,9 @@ class ShardedEngine:
         self._procs = procs
         # The spawn snapshot already contains every grant issued so far.
         self._grants.clear()
-        self._finalizer = weakref.finalize(self, _shutdown_workers, conns, procs)
+        self._finalizer = weakref.finalize(
+            self, _shutdown_workers, conns, procs, self.teardown_escalations
+        )
 
     def close(self) -> None:
         """Stop the worker processes (idempotent)."""
@@ -473,6 +494,12 @@ class ShardedEngine:
             self._finalizer = None
         self._conns = None
         self._procs = []
+
+    def worker_stats(self) -> Dict[str, int]:
+        """Worker lifecycle counters: shard count plus how many teardown
+        escalations (SIGTERM / SIGKILL) past the cooperative stop were
+        ever needed on this engine's workers."""
+        return {"shards": self.shards, **self.teardown_escalations}
 
     def reset(self) -> None:
         """:meth:`Network.reset` hook: resync replicas from the parent's

@@ -29,6 +29,8 @@ from repro.service.api import (
     ServiceError,
     error_response,
 )
+from repro.service.faults import FaultPlan, FaultRule
+from repro.service.robustness import CircuitBreaker, RetryPolicy
 from repro.service.executor import (
     SERVE_STREAM_WINDOW,
     BatchExecutor,
@@ -46,6 +48,7 @@ from repro.service.server import (
     ADMISSION_REJECTED,
     SocketServer,
     serve_socket,
+    validate_timeout,
 )
 from repro.service.registry import (
     DEFAULT_REGISTRY,
@@ -57,10 +60,14 @@ from repro.service.registry import (
 __all__ = [
     "ADMISSION_REJECTED",
     "BatchExecutor",
+    "CircuitBreaker",
     "DEFAULT_REGISTRY",
+    "FaultPlan",
+    "FaultRule",
     "KINDS",
     "LatencyRecorder",
     "NetworkPool",
+    "RetryPolicy",
     "RealizationRequest",
     "RealizationResponse",
     "SERVE_STREAM_WINDOW",
@@ -77,5 +84,6 @@ __all__ = [
     "run_request",
     "serve",
     "serve_socket",
+    "validate_timeout",
     "validate_window",
 ]

@@ -96,6 +96,7 @@ class RealizationRequest:
     explicit_envelope: bool = False  # degree_envelope only
     max_rounds: Optional[int] = None  # per-request round budget (isolation)
     shards: int = 0  # engine="sharded" only; 0 = engine default
+    deadline_ms: Optional[int] = None  # wall-clock budget from arrival (ms)
 
     def __post_init__(self) -> None:
         if self.degrees is not None and not isinstance(self.degrees, tuple):
@@ -193,6 +194,14 @@ class RealizationRequest:
             raise ServiceError(
                 f"'max_rounds' must be a positive integer, got {self.max_rounds!r}"
             )
+        if self.deadline_ms is not None and (
+            not isinstance(self.deadline_ms, int)
+            or isinstance(self.deadline_ms, bool)
+            or self.deadline_ms < 1
+        ):
+            raise ServiceError(
+                f"'deadline_ms' must be a positive integer, got {self.deadline_ms!r}"
+            )
         if not isinstance(self.shards, int) or isinstance(self.shards, bool):
             raise ServiceError(f"'shards' must be an integer, got {self.shards!r}")
         if self.shards < 0:
@@ -238,8 +247,11 @@ class RealizationRequest:
         """The request with its identity stripped and kind-irrelevant
         options defaulted: equal keys ⇒ equal deterministic computations
         ⇒ shareable responses (e.g. a stray ``repairs=3`` on a tree
-        request must not split the cache)."""
-        neutral = {"request_id": ""}
+        request must not split the cache).  ``deadline_ms`` is neutral
+        too: the deadline bounds *when* an answer arrives, never *what*
+        it is (cache hits resolve instantly, so a hit always meets any
+        deadline; error envelopes are never cached)."""
+        neutral = {"request_id": "", "deadline_ms": None}
         if self.kind != "tree":
             neutral["tree_variant"] = "min_diameter"
         if self.kind != "connectivity":
@@ -266,7 +278,7 @@ class RealizationRequest:
     _WIRE_KEYS = (
         "kind", "request_id", "degrees", "scenario", "params", "n", "seed",
         "engine", "sort_fidelity", "tree_variant", "model", "repairs",
-        "explicit_envelope", "max_rounds", "shards",
+        "explicit_envelope", "max_rounds", "shards", "deadline_ms",
     )
     _DEGREES_SLOT = _WIRE_KEYS.index("degrees")
 
@@ -366,6 +378,7 @@ class RealizationRequest:
             ("explicit_envelope", False),
             ("max_rounds", None),
             ("shards", 0),
+            ("deadline_ms", None),
         ):
             value = getattr(self, attr)
             if value != default:
@@ -383,7 +396,11 @@ class RealizationResponse:
     in ``detail``), or ``ERROR`` (the request was malformed or the run
     raised).  ``error_code`` types machine-actionable failures
     (``"BUDGET_EXCEEDED"`` when a per-request ``max_rounds`` budget
-    fired, ``"WORKER_CRASHED"`` when a process-drain worker died,
+    fired, ``"DEADLINE_EXCEEDED"`` when a per-request ``deadline_ms``
+    wall-clock budget expired — before dispatch or cooperatively at a
+    round boundary, ``"WORKER_CRASHED"`` when a process-drain worker
+    died, ``"WORKER_TIMEOUT"`` when the hung-worker watchdog killed the
+    pool worker running this request,
     ``"ADMISSION_REJECTED"`` when the socket front end refused the
     request unexecuted — window full or server draining — so the client
     should back off and resubmit); free-form failures leave it ``None``.  ``cached`` marks responses

@@ -73,9 +73,10 @@ from concurrent.futures import (
 from queue import Empty, Queue
 from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
-from repro.ncc.errors import RoundBudgetExceeded
+from repro.ncc.errors import DeadlineExceeded, RoundBudgetExceeded
 from repro.ncc.network import Network
 from repro.ncc.sharded import fork_context
+from repro.service import faults
 from repro.service.api import (
     RealizationRequest,
     RealizationResponse,
@@ -88,6 +89,7 @@ from repro.service.registry import (
     ScenarioRegistry,
     default_registry,
 )
+from repro.service.robustness import CircuitBreaker, RetryPolicy
 
 EXECUTOR_MODES = ("sequential", "threads", "processes")
 
@@ -121,6 +123,7 @@ def run_request(
     net: Network,
     workload: Optional[Sequence[int]] = None,
     registry: ScenarioRegistry = DEFAULT_REGISTRY,
+    deadline: Optional[float] = None,
 ) -> RealizationResponse:
     """Execute one validated request on ``net`` and envelope the outcome.
 
@@ -131,6 +134,11 @@ def run_request(
     ``max_rounds`` installs a round budget on ``net``; crossing it
     yields a typed ``BUDGET_EXCEEDED`` error response (multi-tenant
     isolation: a pathological request cannot monopolize a worker).
+    ``deadline`` (absolute ``net.clock()`` seconds; defaults to now +
+    ``request.deadline_ms``) likewise installs a wall-clock deadline,
+    checked cooperatively at round boundaries — crossing it yields a
+    typed ``DEADLINE_EXCEEDED`` response and runs that finish in time
+    stay bit-identical.
     """
     started = time.perf_counter()
     try:
@@ -140,6 +148,10 @@ def run_request(
         demands = dict(zip(net.node_ids, vector))
         if request.max_rounds is not None:
             net.set_round_budget(request.max_rounds)
+        if deadline is None and request.deadline_ms is not None:
+            deadline = net.clock() + request.deadline_ms / 1000.0
+        if deadline is not None:
+            net.set_wall_deadline(deadline)
         detail: Dict[str, Any] = {}
         kind = request.kind
 
@@ -215,6 +227,10 @@ def run_request(
         return error_response(
             request.request_id, request.kind, str(exc), code="BUDGET_EXCEEDED"
         )
+    except DeadlineExceeded as exc:
+        return error_response(
+            request.request_id, request.kind, str(exc), code="DEADLINE_EXCEEDED"
+        )
     except Exception as exc:
         response = error_response(request.request_id, request.kind, str(exc))
         return response
@@ -248,37 +264,64 @@ _WORKER_POOL: Optional[NetworkPool] = None
 _WORKER_REGISTRY: Optional[ScenarioRegistry] = None
 _WORKER_CACHE_SCENARIOS = True
 
-#: Test seam: request_ids whose execution hard-kills the worker
-#: (fork-started workers inherit it).  Lets the crash-recovery suite
-#: exercise the BrokenProcessPool path deterministically; empty in
-#: production.
-_CRASH_REQUEST_IDS: frozenset = frozenset()
-
 
 def _process_worker_init(use_pool: bool, cache_scenarios: bool) -> None:
-    """Pool initializer: give this worker its own warm state."""
+    """Pool initializer: give this worker its own warm state.
+
+    Also (re)loads any :mod:`repro.service.faults` plan from the
+    environment — the channel that works under both fork and spawn start
+    methods, with per-worker fire counters.
+    """
     global _WORKER_POOL, _WORKER_REGISTRY, _WORKER_CACHE_SCENARIOS
     _WORKER_POOL = NetworkPool() if use_pool else None
     _WORKER_REGISTRY = default_registry()
     _WORKER_CACHE_SCENARIOS = cache_scenarios
+    faults.ensure_worker_plan()
 
 
-def _process_worker_run_wire(wire: tuple) -> tuple:
+def _process_worker_run_wire(wire: tuple, deadline: Optional[float] = None) -> tuple:
     """Wire-form shim around :func:`_process_worker_run`.
 
     The process boundary ships compact positional envelopes
     (``RealizationRequest.to_wire`` / ``RealizationResponse.to_wire``)
     instead of pickled dataclasses: the inline workload vector crosses
     as one ``array('q')`` memcpy and neither side pays the dataclass
-    pickle protocol.
+    pickle protocol.  ``deadline`` is the parent's absolute
+    ``time.monotonic()`` deadline — comparable across processes because
+    ``CLOCK_MONOTONIC`` is system-wide on the platforms the process
+    drain supports.
     """
-    return _process_worker_run(RealizationRequest.from_wire(wire)).to_wire()
+    request = RealizationRequest.from_wire(wire)
+    plan = faults.active()
+    if plan is not None and plan.match("wire_error", request.request_id):
+        # Injected transport fault: a tuple from_wire() cannot zip — the
+        # parent's decode raises and envelopes a transport failure.
+        return ("\x00bad-wire",)
+    return _process_worker_run(request, deadline).to_wire()
 
 
-def _process_worker_run(request: RealizationRequest) -> RealizationResponse:
+def _process_worker_run(
+    request: RealizationRequest, deadline: Optional[float] = None
+) -> RealizationResponse:
     """One request on this worker's warm state (the in-worker ``handle``)."""
-    if request.request_id in _CRASH_REQUEST_IDS:  # pragma: no cover - test seam
-        os._exit(70)
+    plan = faults.active()
+    if plan is not None:
+        if plan.match("crash", request.request_id):
+            os._exit(70)
+        rule = plan.match("hang", request.request_id) or plan.match(
+            "slow", request.request_id
+        )
+        if rule is not None:
+            time.sleep(rule.sleep_sec())
+    if deadline is not None and time.monotonic() >= deadline:
+        # Expired while queued behind other pool jobs (or slowed by an
+        # injected fault): answer without touching a network.
+        return error_response(
+            request.request_id,
+            request.kind,
+            "wall-clock deadline expired before the worker started this request",
+            code="DEADLINE_EXCEEDED",
+        )
     registry = _WORKER_REGISTRY if _WORKER_REGISTRY is not None else DEFAULT_REGISTRY
     try:
         workload = resolve_workload(
@@ -287,10 +330,10 @@ def _process_worker_run(request: RealizationRequest) -> RealizationResponse:
         n, config = request.size, request.config()
         if _WORKER_POOL is not None:
             with _WORKER_POOL.network(n, config) as net:
-                return run_request(request, net, workload, registry)
+                return run_request(request, net, workload, registry, deadline)
         net = Network(n, config)
         try:
-            return run_request(request, net, workload, registry)
+            return run_request(request, net, workload, registry, deadline)
         finally:
             net.close()  # sharded engines hold worker processes
     except ServiceError as exc:
@@ -372,6 +415,25 @@ def _resolve_future(out: "Future", response: RealizationResponse) -> None:
             pass
 
 
+class _WatchEntry:
+    """One in-flight pool future under hung-worker watchdog observation.
+
+    ``kill_at`` is the absolute monotonic time past which the worker is
+    presumed hung (request deadline + grace, or the executor's liveness
+    bound); ``None`` means this future is tracked but never killed.  The
+    watchdog marks ``timed_out`` *before* killing the pool so the
+    completion paths can tell the culprit (typed ``WORKER_TIMEOUT``, no
+    retry) from its innocent co-victims (retried as crash victims).
+    """
+
+    __slots__ = ("kill_at", "pool", "timed_out")
+
+    def __init__(self, kill_at: Optional[float], pool: ProcessPoolExecutor) -> None:
+        self.kill_at = kill_at
+        self.pool = pool
+        self.timed_out = False
+
+
 class BatchExecutor:
     """Drains request batches/queues over a shared pool and caches.
 
@@ -405,6 +467,27 @@ class BatchExecutor:
         count) for :meth:`run`.  The process pool spins up lazily on the
         first multi-request :meth:`run` and persists, warm, until
         :meth:`close`.
+    retry_policy:
+        How pool-break victims are retried (defaults to
+        :class:`~repro.service.robustness.RetryPolicy`'s two total
+        attempts with deterministic jittered backoff — the historical
+        single blind retry, now with a pause).
+    breaker:
+        The :class:`~repro.service.robustness.CircuitBreaker` guarding
+        the process pool.  While open, process-mode work degrades to
+        in-parent sequential execution (identical deterministic
+        responses, no parallelism) instead of feeding a pool that keeps
+        breaking; after the cooldown one probe decides whether to close.
+    hang_timeout:
+        Liveness bound (seconds) for process-mode jobs *without* a
+        request deadline: a worker future older than this is presumed
+        hung and killed by the watchdog.  ``None`` (default) disables
+        the bound — deadline-less requests may run forever, as before.
+    hang_grace / watchdog_interval:
+        Watchdog tuning: how far past a request's deadline a worker may
+        run before being killed (the cooperative in-run check should
+        fire first), and how often the watchdog scans.  Process-mode
+        only — threads cannot be killed.
     """
 
     def __init__(
@@ -416,11 +499,27 @@ class BatchExecutor:
         mode: str = "sequential",
         workers: int = 4,
         max_cached_responses: int = 4096,
+        retry_policy: Optional[RetryPolicy] = None,
+        breaker: Optional[CircuitBreaker] = None,
+        hang_timeout: Optional[float] = None,
+        hang_grace: float = 0.1,
+        watchdog_interval: float = 0.05,
     ) -> None:
         if mode not in EXECUTOR_MODES:
             raise ValueError(f"mode must be one of {EXECUTOR_MODES}, got {mode!r}")
         if workers < 1:
             raise ValueError("workers must be >= 1")
+        def _number(name, value, allow_zero=False):
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                raise ValueError(f"{name} must be a number, got {value!r}")
+            if value < 0 or (value == 0 and not allow_zero):
+                bound = ">= 0" if allow_zero else "> 0"
+                raise ValueError(f"{name} must be {bound}, got {value!r}")
+
+        if hang_timeout is not None:
+            _number("hang_timeout", hang_timeout)
+        _number("hang_grace", hang_grace, allow_zero=True)
+        _number("watchdog_interval", watchdog_interval)
         self.pool = pool
         self.registry = registry
         self.mode = mode
@@ -428,6 +527,11 @@ class BatchExecutor:
         self.cache_responses = cache_responses
         self.cache_scenarios = cache_scenarios
         self.max_cached_responses = max_cached_responses
+        self.retry_policy = retry_policy if retry_policy is not None else RetryPolicy()
+        self.breaker = breaker if breaker is not None else CircuitBreaker()
+        self.hang_timeout = hang_timeout
+        self.hang_grace = float(hang_grace)
+        self.watchdog_interval = float(watchdog_interval)
         self._response_cache: "OrderedDict[RealizationRequest, RealizationResponse]" = (
             OrderedDict()
         )
@@ -452,12 +556,27 @@ class BatchExecutor:
         self._stats_snapshot: Optional[Dict[str, Any]] = None
         self._process_pool: Optional[ProcessPoolExecutor] = None
         self._process_pool_broken = False
+        # Degraded-mode runner (breaker open): a single thread executing
+        # requests in-parent so the async paths never block their
+        # callers.  Built lazily, torn down by close().
+        self._degraded_pool: Optional[ThreadPoolExecutor] = None
+        # Hung-worker watchdog: in-flight pool futures -> _WatchEntry,
+        # scanned by a daemon thread that SIGKILLs pools whose workers
+        # outlive their bound (the resulting BrokenProcessPool drives
+        # the ordinary crash-recovery machinery).
+        self._watch_lock = threading.Lock()
+        self._dispatch: Dict[Future, _WatchEntry] = {}
+        self._watchdog_stop: Optional[threading.Event] = None
         self.latency = LatencyRecorder()
         self.requests_handled = 0
         self.response_cache_hits = 0
         self.response_cache_evictions = 0
         self.coalesced_hits = 0
         self.worker_crashes = 0
+        self.worker_timeouts = 0
+        self.retries = 0
+        self.deadline_exceeded = 0
+        self.degraded_handled = 0
         # The registry may be shared (DEFAULT_REGISTRY); snapshot its
         # counters so stats() excludes traffic from before this executor
         # existed.  (Concurrent traffic from *other* executors sharing
@@ -489,8 +608,18 @@ class BatchExecutor:
                 self._stats_snapshot = snapshot
             pool, self._process_pool = self._process_pool, None
             self._process_pool_broken = False
+            degraded, self._degraded_pool = self._degraded_pool, None
+        with self._watch_lock:
+            stop, self._watchdog_stop = self._watchdog_stop, None
+            self._dispatch.clear()
+        if stop is not None:
+            stop.set()
         if pool is not None:
             pool.shutdown(wait=True, cancel_futures=True)
+        if degraded is not None:
+            # wait (no cancel): queued degraded jobs hold futures that
+            # clients are blocked on; they must resolve, not vanish.
+            degraded.shutdown(wait=True)
 
     def _reopen(self) -> None:
         """Public entry points re-open after close(); stats go live again."""
@@ -524,6 +653,170 @@ class BatchExecutor:
             )
             self._process_pool_broken = False
             return self._process_pool
+
+    # ---------------------------------------------------------------- #
+    # Hung-worker watchdog                                             #
+    # ---------------------------------------------------------------- #
+
+    def _deadline_for(self, request: RealizationRequest) -> Optional[float]:
+        """Absolute monotonic deadline for a request arriving now."""
+        if request.deadline_ms is None:
+            return None
+        return time.monotonic() + request.deadline_ms / 1000.0
+
+    def _watch(
+        self,
+        future: "Future",
+        pool: ProcessPoolExecutor,
+        deadline: Optional[float],
+    ) -> None:
+        """Register an in-flight pool future with the watchdog."""
+        kill_at = None if deadline is None else deadline + self.hang_grace
+        if self.hang_timeout is not None:
+            bound = time.monotonic() + self.hang_timeout
+            kill_at = bound if kill_at is None else min(kill_at, bound)
+        with self._watch_lock:
+            self._dispatch[future] = _WatchEntry(kill_at, pool)
+        if kill_at is not None:
+            self._ensure_watchdog()
+
+    def _watch_pop(self, future: "Future") -> bool:
+        """Deregister a completed future; True if the watchdog killed it."""
+        with self._watch_lock:
+            entry = self._dispatch.pop(future, None)
+        return entry is not None and entry.timed_out
+
+    def _ensure_watchdog(self) -> None:
+        """Start the scan thread if none is running (restarts after
+        close() → reopen; executors that never see a bounded job never
+        pay for a watchdog thread)."""
+        with self._watch_lock:
+            if self._watchdog_stop is not None and not self._watchdog_stop.is_set():
+                return
+            stop = threading.Event()
+            self._watchdog_stop = stop
+            threading.Thread(
+                target=self._watchdog_loop,
+                args=(stop,),
+                name="executor-watchdog",
+                daemon=True,
+            ).start()
+
+    def _watchdog_loop(self, stop: threading.Event) -> None:
+        """Scan in-flight futures; SIGKILL pools whose workers overstayed.
+
+        Marking ``timed_out`` happens under the watch lock *before* the
+        kill, so the BrokenProcessPool completions that follow can
+        attribute the break: the culprit gets ``WORKER_TIMEOUT``, its
+        co-victims go through ordinary crash retry.
+        """
+        while not stop.wait(self.watchdog_interval):
+            now = time.monotonic()
+            culprits: List[ProcessPoolExecutor] = []
+            with self._watch_lock:
+                for future, entry in self._dispatch.items():
+                    if (
+                        entry.kill_at is not None
+                        and not entry.timed_out
+                        and now >= entry.kill_at
+                        and not future.done()
+                    ):
+                        entry.timed_out = True
+                        culprits.append(entry.pool)
+            if not culprits:
+                continue
+            with self._cache_lock:
+                self.worker_timeouts += len(culprits)
+            for pool in {id(p): p for p in culprits}.values():
+                self._kill_pool(pool)
+
+    def _kill_pool(self, pool: ProcessPoolExecutor) -> None:
+        """Hard-kill a hung pool's workers; recovery rides the ordinary
+        BrokenProcessPool path (retry co-victims, respawn on demand)."""
+        with self._pool_lock:
+            if self._closed:
+                return
+        self._note_pool_break(pool)
+        procs = getattr(pool, "_processes", None)
+        if procs:
+            for proc in list(procs.values()):
+                try:
+                    proc.kill()
+                except Exception:  # already gone
+                    pass
+        else:  # pragma: no cover - no visible worker table: retire it
+            pool.shutdown(wait=False, cancel_futures=True)
+
+    def _note_pool_break(self, pool: Optional[ProcessPoolExecutor]) -> None:
+        """Flag ``pool`` broken (identity-guarded) and feed the breaker.
+
+        The breaker records one failure per *pool break*, not one per
+        victim: the first caller to flip the broken flag wins, so a
+        crash that fails five in-flight futures costs one breaker count.
+        """
+        fresh_break = False
+        with self._pool_lock:
+            if (
+                not self._closed
+                and pool is not None
+                and self._process_pool is pool
+                and not self._process_pool_broken
+            ):
+                self._process_pool_broken = True
+                fresh_break = True
+        if fresh_break and self.breaker is not None:
+            self.breaker.record_failure()
+
+    # ---------------------------------------------------------------- #
+    # Degraded execution (breaker open)                                #
+    # ---------------------------------------------------------------- #
+
+    def _dispatch_degraded(
+        self,
+        request: RealizationRequest,
+        key: Optional[RealizationRequest],
+        out: "Future",
+        deadline: Optional[float],
+    ) -> None:
+        """Breaker open: run in-parent on the single degraded thread.
+
+        Responses are deterministic, so a degraded answer is
+        field-identical to a pooled one — the cost is lost parallelism,
+        which beats feeding a pool that keeps breaking.
+        """
+        with self._pool_lock:
+            closed = self._closed
+            if not closed:
+                if self._degraded_pool is None:
+                    self._degraded_pool = ThreadPoolExecutor(
+                        max_workers=1, thread_name_prefix="executor-degraded"
+                    )
+                runner = self._degraded_pool
+        if closed:
+            self._finish_async(
+                request,
+                key,
+                out,
+                error_response(
+                    request.request_id,
+                    request.kind,
+                    "executor closed while this request was in flight",
+                ),
+                resubmit_followers=False,
+            )
+            return
+        with self._cache_lock:
+            self.degraded_handled += 1
+        runner.submit(self._run_degraded, request, key, out, deadline)
+
+    def _run_degraded(
+        self,
+        request: RealizationRequest,
+        key: Optional[RealizationRequest],
+        out: "Future",
+        deadline: Optional[float],
+    ) -> None:
+        self._finish_async(request, key, out, self._execute(request, deadline))
 
     # ---------------------------------------------------------------- #
     # Response cache (LRU) and coalescing                              #
@@ -571,13 +864,66 @@ class BatchExecutor:
                 self._response_cache.popitem(last=False)
                 self.response_cache_evictions += 1
 
+    def _note_code_locked(self, response: RealizationResponse) -> None:
+        """Counter bookkeeping for typed failures (cache lock held)."""
+        if response.error_code == "DEADLINE_EXCEEDED":
+            self.deadline_exceeded += 1
+
     # ---------------------------------------------------------------- #
     # Single requests                                                  #
     # ---------------------------------------------------------------- #
 
+    def _execute(
+        self, request: RealizationRequest, deadline: Optional[float] = None
+    ) -> RealizationResponse:
+        """The stateless run: resolve the workload, lease a network, run.
+
+        Never raises — every failure envelopes (the serve loops depend
+        on that).  ``deadline`` is absolute ``time.monotonic()``
+        seconds; an already-expired one short-circuits to a typed
+        ``DEADLINE_EXCEEDED`` without touching a network (the
+        expired-before-dispatch path every drain mode shares).
+        """
+        try:
+            if deadline is not None and time.monotonic() >= deadline:
+                return error_response(
+                    request.request_id,
+                    request.kind,
+                    "wall-clock deadline expired before dispatch",
+                    code="DEADLINE_EXCEEDED",
+                )
+            workload = resolve_workload(
+                request, self.registry, use_cache=self.cache_scenarios
+            )
+            n, config = request.size, request.config()
+            if self.pool is not None:
+                with self.pool.network(n, config) as net:
+                    return run_request(
+                        request, net, workload, self.registry, deadline
+                    )
+            net = Network(n, config)
+            try:
+                return run_request(request, net, workload, self.registry, deadline)
+            finally:
+                net.close()  # sharded engines hold worker processes
+        except ServiceError as exc:
+            return error_response(request.request_id, request.kind, str(exc))
+        except Exception as exc:  # last resort: a long-lived serve loop
+            # must envelope even unforeseen failures, not die mid-stream.
+            return error_response(
+                request.request_id,
+                request.kind,
+                f"internal error: {type(exc).__name__}: {exc}",
+            )
+
     def handle(self, request: RealizationRequest) -> RealizationResponse:
         """One request through the full warm path: validate, consult the
-        cache, coalesce onto an identical in-flight execution, or run."""
+        cache, coalesce onto an identical in-flight execution, or run.
+
+        A request carrying ``deadline_ms`` starts its wall clock here
+        (arrival), so time spent waiting on a coalesced leader counts
+        against the deadline too.
+        """
         if self._closed:  # cheap unlocked read; re-opening is rare
             self._reopen()
         started = time.perf_counter()
@@ -586,57 +932,36 @@ class BatchExecutor:
         try:
             try:
                 request.validate()
-                if self.cache_responses:
-                    key = request.cache_key()
-                    hit = self._cache_lookup(key, request)
-                    if hit is not None:
-                        return hit
-                    # Single-flight: exactly one thread computes a key;
-                    # identical concurrent requests wait and then read
-                    # the cache.  A leader that failed (ERROR responses
-                    # are not cached) leaves followers to retry the
-                    # election so the request still gets a real attempt.
-                    while True:
-                        with self._cache_lock:
-                            flight = self._in_flight.get(key)
-                            if flight is None:
-                                self._in_flight[key] = threading.Event()
-                                leader = True
-                                break
-                        flight.wait()
-                        hit = self._cache_lookup(key, request, coalesced=True)
-                        if hit is not None:
-                            return hit
-                workload = resolve_workload(
-                    request, self.registry, use_cache=self.cache_scenarios
-                )
-                n, config = request.size, request.config()
-                if self.pool is not None:
-                    with self.pool.network(n, config) as net:
-                        response = run_request(request, net, workload, self.registry)
-                else:
-                    net = Network(n, config)
-                    try:
-                        response = run_request(
-                            request, net, workload, self.registry
-                        )
-                    finally:
-                        net.close()  # sharded engines hold worker processes
             except ServiceError as exc:
                 with self._cache_lock:
                     self.requests_handled += 1
                 return error_response(request.request_id, request.kind, str(exc))
-            except Exception as exc:  # last resort: a long-lived serve loop
-                # must envelope even unforeseen failures, not die mid-stream.
-                with self._cache_lock:
-                    self.requests_handled += 1
-                return error_response(
-                    request.request_id,
-                    request.kind,
-                    f"internal error: {type(exc).__name__}: {exc}",
-                )
+            deadline = self._deadline_for(request)
+            if self.cache_responses:
+                key = request.cache_key()
+                hit = self._cache_lookup(key, request)
+                if hit is not None:
+                    return hit
+                # Single-flight: exactly one thread computes a key;
+                # identical concurrent requests wait and then read
+                # the cache.  A leader that failed (ERROR responses
+                # are not cached) leaves followers to retry the
+                # election so the request still gets a real attempt.
+                while True:
+                    with self._cache_lock:
+                        flight = self._in_flight.get(key)
+                        if flight is None:
+                            self._in_flight[key] = threading.Event()
+                            leader = True
+                            break
+                    flight.wait()
+                    hit = self._cache_lookup(key, request, coalesced=True)
+                    if hit is not None:
+                        return hit
+            response = self._execute(request, deadline)
             with self._cache_lock:
                 self.requests_handled += 1
+                self._note_code_locked(response)
                 # Cache successful computations only: an ERROR may reflect
                 # a transient environment failure (e.g. memory pressure),
                 # which must not be replayed forever for a deterministic
@@ -685,11 +1010,18 @@ class BatchExecutor:
         self._reopen()  # public entry re-opens after close()
         return self._submit(request, out)
 
-    def _submit(self, request: RealizationRequest, out: "Future") -> "Future":
+    def _submit(
+        self,
+        request: RealizationRequest,
+        out: "Future",
+        deadline: Optional[float] = None,
+    ) -> "Future":
         """The :meth:`submit` body without the re-open: internal callers
         (the streaming serve pump) must not resurrect a closed executor
         — a racing ``close()`` resolves their futures with the closed
-        envelope instead."""
+        envelope instead.  ``deadline`` lets front ends stamp arrival
+        time themselves (the socket server stamps at admission); by
+        default the request's ``deadline_ms`` clock starts here."""
         started = time.perf_counter()
         out.add_done_callback(
             lambda _f: self.latency.record(time.perf_counter() - started)
@@ -701,6 +1033,8 @@ class BatchExecutor:
                 self.requests_handled += 1
             out.set_result(error_response(request.request_id, request.kind, str(exc)))
             return out
+        if deadline is None:
+            deadline = self._deadline_for(request)
         key = request.cache_key() if self.cache_responses else None
         if key is not None:
             hit = self._cache_lookup(key, request)
@@ -713,7 +1047,7 @@ class BatchExecutor:
                     followers.append((request, out))
                     return out
                 self._in_flight_async[key] = []
-        self._submit_async(request, key, out, retried=False)
+        self._submit_async(request, key, out, attempt=1, deadline=deadline)
         return out
 
     def _submit_async(
@@ -721,9 +1055,35 @@ class BatchExecutor:
         request: RealizationRequest,
         key: Optional[RealizationRequest],
         out: "Future",
-        retried: bool,
+        attempt: int = 1,
+        deadline: Optional[float] = None,
     ) -> None:
-        """Ship one leader job to the worker pool (wire-encoded)."""
+        """Ship one leader job to the worker pool (wire-encoded).
+
+        ``attempt`` is 1-based; pool breaks resubmit with ``attempt+1``
+        until ``retry_policy.max_attempts``, pausing the policy's
+        backoff between attempts.
+        """
+        if deadline is None and request.deadline_ms is not None:
+            # Follower resubmissions arrive without their leader's
+            # stamp; their wall clock restarts at detachment.
+            deadline = self._deadline_for(request)
+        if deadline is not None and time.monotonic() >= deadline:
+            self._finish_async(
+                request,
+                key,
+                out,
+                error_response(
+                    request.request_id,
+                    request.kind,
+                    "wall-clock deadline expired before dispatch",
+                    code="DEADLINE_EXCEEDED",
+                ),
+            )
+            return
+        if self.breaker is not None and not self.breaker.allow():
+            self._dispatch_degraded(request, key, out, deadline)
+            return
         pool = None
         try:
             # _ensure_process_pool re-checks the closed flag under the
@@ -732,7 +1092,9 @@ class BatchExecutor:
             # below instead of rebuilding a pool nothing would ever
             # shut down.
             pool = self._ensure_process_pool()
-            future = pool.submit(_process_worker_run_wire, request.to_wire())
+            future = pool.submit(
+                _process_worker_run_wire, request.to_wire(), deadline
+            )
         except _ExecutorClosed:
             self._finish_async(
                 request,
@@ -753,13 +1115,11 @@ class BatchExecutor:
             # Same pool-identity guard as _async_done: only flag the
             # pool this submission actually used, never a healthy
             # replacement another thread already built.
-            with self._pool_lock:
-                if pool is not None and self._process_pool is pool:
-                    self._process_pool_broken = True
+            self._note_pool_break(pool)
             with self._cache_lock:  # same accounting as the other paths
                 self.worker_crashes += 1
-            if not retried:
-                self._submit_async(request, key, out, retried=True)
+            if attempt < self.retry_policy.max_attempts:
+                self._retry_async(request, key, out, attempt + 1, deadline)
             else:
                 self._finish_async(
                     request,
@@ -785,31 +1145,59 @@ class BatchExecutor:
                 ),
             )
             return
+        # Watch before wiring the completion callback: the callback's
+        # _watch_pop must always find (and clear) the entry, even when
+        # the future completed before we got here.
+        self._watch(future, pool, deadline)
         future.add_done_callback(
-            lambda done: self._async_done(done, request, key, out, retried, pool)
+            lambda done: self._async_done(
+                done, request, key, out, attempt, pool, deadline
+            )
         )
 
-    def _async_done(self, future, request, key, out, retried, pool) -> None:
+    def _retry_async(
+        self,
+        request: RealizationRequest,
+        key: Optional[RealizationRequest],
+        out: "Future",
+        attempt: int,
+        deadline: Optional[float],
+    ) -> None:
+        """Resubmit after the policy's backoff (timer thread, so pool
+        callback threads never sleep)."""
+        with self._cache_lock:
+            self.retries += 1
+        delay = self.retry_policy.delay_sec(attempt)
+        if delay <= 0:
+            self._submit_async(request, key, out, attempt, deadline)
+            return
+        timer = threading.Timer(
+            delay,
+            self._submit_async,
+            args=(request, key, out, attempt, deadline),
+        )
+        timer.daemon = True
+        timer.start()
+
+    def _async_done(
+        self, future, request, key, out, attempt, pool, deadline
+    ) -> None:
         """Completion hook (runs on the pool's callback thread)."""
+        timed_out = self._watch_pop(future)
         try:
             response = RealizationResponse.from_wire(future.result())
+            if self.breaker is not None:
+                self.breaker.record_success()
         except (BrokenExecutor, CancelledError):
             # The dead worker broke the whole pool; mirror the batch
-            # drain's recovery — one retry on a fresh pool, then a typed
-            # failure for the (deterministic) crasher.  CancelledError
-            # (a concurrent pool replacement cancels its pending
-            # futures) is a BaseException: without catching it here the
-            # response future would never resolve and a streaming
-            # client would hang forever.
+            # drain's recovery — retries on a fresh pool under the
+            # policy, then a typed failure for the (deterministic)
+            # crasher.  CancelledError (a concurrent pool replacement
+            # cancels its pending futures) is a BaseException: without
+            # catching it here the response future would never resolve
+            # and a streaming client would hang forever.
             with self._pool_lock:
                 closed = self._closed
-                # Only flag the pool this future actually ran on:
-                # several victims of one crash race through here, and a
-                # stale flag would tear down the healthy replacement
-                # pool (cancelling innocent retries into spurious
-                # WORKER_CRASHED responses).
-                if not closed and self._process_pool is pool:
-                    self._process_pool_broken = True
             if closed:
                 # close() cancelled the in-flight work; don't resurrect
                 # a fresh pool for it — and don't resubmit coalesced
@@ -827,17 +1215,36 @@ class BatchExecutor:
                     resubmit_followers=False,
                 )
                 return
-            with self._cache_lock:
-                self.worker_crashes += 1
-            if not retried:
-                self._submit_async(request, key, out, retried=True)
-                return
-            response = error_response(
-                request.request_id,
-                request.kind,
-                "worker process died while executing this request",
-                code="WORKER_CRASHED",
-            )
+            # Only flag the pool this future actually ran on (see
+            # _note_pool_break): several victims of one crash race
+            # through here, and a stale flag would tear down the healthy
+            # replacement pool (cancelling innocent retries into
+            # spurious WORKER_CRASHED responses).
+            self._note_pool_break(pool)
+            if timed_out:
+                # The watchdog killed this job's worker: the culprit is
+                # *this* request — no retry (it would hang again), a
+                # typed timeout instead.  Co-victims arrive here with
+                # timed_out=False and retry normally.
+                response = error_response(
+                    request.request_id,
+                    request.kind,
+                    "worker exceeded its wall-clock bound and was killed "
+                    "by the watchdog",
+                    code="WORKER_TIMEOUT",
+                )
+            else:
+                with self._cache_lock:
+                    self.worker_crashes += 1
+                if attempt < self.retry_policy.max_attempts:
+                    self._retry_async(request, key, out, attempt + 1, deadline)
+                    return
+                response = error_response(
+                    request.request_id,
+                    request.kind,
+                    "worker process died while executing this request",
+                    code="WORKER_CRASHED",
+                )
         except Exception as exc:  # transport/pickling failure
             response = error_response(
                 request.request_id,
@@ -890,6 +1297,7 @@ class BatchExecutor:
                 self.requests_handled += 1 + (
                     len(followers) if not resubmit_followers else 0
                 )
+                self._note_code_locked(response)
             _resolve_future(
                 out, dataclasses.replace(response, request_id=request.request_id)
             )
@@ -914,9 +1322,7 @@ class BatchExecutor:
             # failed leader almost always fails too, and errors are
             # never cached anyway.
             for follower_request, follower_out in followers:
-                self._submit_async(
-                    follower_request, None, follower_out, retried=False
-                )
+                self._submit_async(follower_request, None, follower_out)
 
     # ---------------------------------------------------------------- #
     # Batches                                                          #
@@ -987,6 +1393,7 @@ class BatchExecutor:
                 # real attempt instead of a copy of the failure.
                 with self._cache_lock:
                     self.requests_handled += 1
+                    self._note_code_locked(response)
                 for i in indices[1:]:
                     retries.append(([i], batch[i]))
                 continue
@@ -1010,6 +1417,7 @@ class BatchExecutor:
                     self.requests_handled += 1
                     if self.cache_responses and response.verdict != "ERROR":
                         self._cache_store_locked(request.cache_key(), response)
+                    self._note_code_locked(response)
                 responses[indices[0]] = dataclasses.replace(
                     response, request_id=request.request_id
                 )
@@ -1029,6 +1437,17 @@ class BatchExecutor:
         """
         if not jobs:
             return []
+        deadlines = [self._deadline_for(request) for _, request in jobs]
+        if self.breaker is not None and not self.breaker.allow():
+            # Breaker open: run the whole batch in-parent.  _execute is
+            # the same deterministic path the workers run, so responses
+            # stay field-identical — just slower (sequential).
+            with self._cache_lock:
+                self.degraded_handled += len(jobs)
+            return [
+                self._execute(request, deadline)
+                for (_, request), deadline in zip(jobs, deadlines)
+            ]
         try:
             pool = self._ensure_process_pool()
         except _ExecutorClosed:
@@ -1040,24 +1459,52 @@ class BatchExecutor:
                 )
                 for _, request in jobs
             ]
-        futures = [
-            pool.submit(_process_worker_run_wire, request.to_wire())
-            for _, request in jobs
-        ]
+        futures: List[Optional[Future]] = []
+        for (_, request), deadline in zip(jobs, deadlines):
+            if deadline is not None and time.monotonic() >= deadline:
+                futures.append(None)  # expired before dispatch
+                continue
+            future = pool.submit(
+                _process_worker_run_wire, request.to_wire(), deadline
+            )
+            self._watch(future, pool, deadline)
+            futures.append(future)
         outcomes: List[Optional[RealizationResponse]] = [None] * len(jobs)
         retry: List[int] = []
         for j, future in enumerate(futures):
             request = jobs[j][1]
+            if future is None:
+                outcomes[j] = error_response(
+                    request.request_id,
+                    request.kind,
+                    "wall-clock deadline expired before dispatch",
+                    code="DEADLINE_EXCEEDED",
+                )
+                continue
             try:
                 outcomes[j] = RealizationResponse.from_wire(future.result())
+                self._watch_pop(future)
+                if self.breaker is not None:
+                    self.breaker.record_success()
             except BrokenExecutor:
-                with self._pool_lock:
-                    # Pool-identity guard (see _async_done): never flag
-                    # a replacement pool another thread already built.
-                    if self._process_pool is pool:
-                        self._process_pool_broken = True
-                retry.append(j)
+                timed_out = self._watch_pop(future)
+                # Pool-identity guard (see _note_pool_break): never flag
+                # a replacement pool another thread already built.
+                self._note_pool_break(pool)
+                if timed_out:
+                    # Watchdog kill: this job is the culprit — typed
+                    # timeout, no retry (it would hang again).
+                    outcomes[j] = error_response(
+                        request.request_id,
+                        request.kind,
+                        "worker exceeded its wall-clock bound and was "
+                        "killed by the watchdog",
+                        code="WORKER_TIMEOUT",
+                    )
+                else:
+                    retry.append(j)
             except Exception as exc:  # transport/pickling failure
+                self._watch_pop(future)
                 outcomes[j] = error_response(
                     request.request_id,
                     request.kind,
@@ -1067,39 +1514,76 @@ class BatchExecutor:
             with self._cache_lock:
                 self.worker_crashes += 1
         for j in retry:
-            request = jobs[j][1]
+            outcomes[j] = self._retry_process_job(jobs[j][1], deadlines[j])
+        return outcomes  # type: ignore[return-value]
+
+    def _retry_process_job(
+        self, request: RealizationRequest, deadline: Optional[float]
+    ) -> RealizationResponse:
+        """Serial crash recovery for one batch job, under the policy.
+
+        Attempts 2..max_attempts on fresh pools with the policy's
+        backoff between them; a deterministic crasher exhausts the
+        attempts and earns the typed ``WORKER_CRASHED``, a watchdog
+        victim stops early with ``WORKER_TIMEOUT``.
+        """
+        for attempt in range(2, self.retry_policy.max_attempts + 1):
+            with self._cache_lock:
+                self.retries += 1
+            delay = self.retry_policy.delay_sec(attempt)
+            if delay > 0:
+                time.sleep(delay)
+            if deadline is not None and time.monotonic() >= deadline:
+                return error_response(
+                    request.request_id,
+                    request.kind,
+                    "wall-clock deadline expired during crash recovery",
+                    code="DEADLINE_EXCEEDED",
+                )
             try:
                 pool = self._ensure_process_pool()
             except _ExecutorClosed:
-                outcomes[j] = error_response(
+                return error_response(
                     request.request_id,
                     request.kind,
                     "executor closed while this request was in flight",
                 )
-                continue
+            future = pool.submit(
+                _process_worker_run_wire, request.to_wire(), deadline
+            )
+            self._watch(future, pool, deadline)
             try:
-                outcomes[j] = RealizationResponse.from_wire(
-                    pool.submit(_process_worker_run_wire, request.to_wire()).result()
-                )
+                response = RealizationResponse.from_wire(future.result())
+                self._watch_pop(future)
+                if self.breaker is not None:
+                    self.breaker.record_success()
+                return response
             except BrokenExecutor:
-                with self._pool_lock:
-                    if self._process_pool is pool:
-                        self._process_pool_broken = True
+                timed_out = self._watch_pop(future)
+                self._note_pool_break(pool)
+                if timed_out:
+                    return error_response(
+                        request.request_id,
+                        request.kind,
+                        "worker exceeded its wall-clock bound and was "
+                        "killed by the watchdog",
+                        code="WORKER_TIMEOUT",
+                    )
                 with self._cache_lock:
                     self.worker_crashes += 1
-                outcomes[j] = error_response(
-                    request.request_id,
-                    request.kind,
-                    "worker process died while executing this request",
-                    code="WORKER_CRASHED",
-                )
             except Exception as exc:
-                outcomes[j] = error_response(
+                self._watch_pop(future)
+                return error_response(
                     request.request_id,
                     request.kind,
                     f"process drain failure: {type(exc).__name__}: {exc}",
                 )
-        return outcomes  # type: ignore[return-value]
+        return error_response(
+            request.request_id,
+            request.kind,
+            "worker process died while executing this request",
+            code="WORKER_CRASHED",
+        )
 
     def stats(self) -> Dict[str, Any]:
         """The counters — live, or the frozen close-time snapshot.
@@ -1125,6 +1609,13 @@ class BatchExecutor:
             "response_cache_size": len(self._response_cache),
             "coalesced_hits": self.coalesced_hits,
             "worker_crashes": self.worker_crashes,
+            "worker_timeouts": self.worker_timeouts,
+            "retries": self.retries,
+            "deadline_exceeded": self.deadline_exceeded,
+            "degraded_handled": self.degraded_handled,
+            "breaker": self.breaker.snapshot()
+            if self.breaker is not None
+            else None,
             "scenario_cache_hits": self.registry.cache_hits - self._registry_hits_base,
             "scenario_cache_misses": (
                 self.registry.cache_misses - self._registry_misses_base

@@ -39,10 +39,12 @@ from __future__ import annotations
 import asyncio
 import json
 import signal
+import time
 from concurrent.futures import Future, ThreadPoolExecutor
 from typing import Any, Callable, Dict, Optional, Set, Tuple
 
-from repro.service.api import RealizationResponse, error_response
+from repro.service import faults
+from repro.service.api import RealizationResponse, ServiceError, error_response
 from repro.service.executor import (
     BatchExecutor,
     parse_request_payload,
@@ -50,7 +52,23 @@ from repro.service.executor import (
 )
 from repro.service.pool import NetworkPool
 
-__all__ = ["ADMISSION_REJECTED", "STATS_KIND", "SocketServer", "serve_socket"]
+__all__ = [
+    "ADMISSION_REJECTED",
+    "STATS_KIND",
+    "SocketServer",
+    "serve_socket",
+    "validate_timeout",
+]
+
+
+def validate_timeout(name: str, value: float) -> float:
+    """Validate an emit/close timeout knob: a finite number > 0."""
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ServiceError(f"{name!r} must be a number, got {value!r}")
+    value = float(value)
+    if not value > 0 or value != value or value == float("inf"):
+        raise ServiceError(f"{name!r} must be a finite number > 0, got {value}")
+    return value
 
 #: Typed ``error_code`` for requests refused by admission control (the
 #: window is full, the client exceeded its fair share, or the server is
@@ -72,13 +90,18 @@ _WRITE_FAILURES = (OSError, RuntimeError)  # reset/broken pipe/closed transport
 class _Connection:
     """Per-connection state: the in-order emit FIFO and admission count."""
 
-    __slots__ = ("writer", "queue", "inflight", "broken")
+    __slots__ = ("writer", "queue", "inflight", "broken", "deadline_horizon", "bare")
 
     def __init__(self, writer: asyncio.StreamWriter) -> None:
         self.writer = writer
         self.queue: "asyncio.Queue[Any]" = asyncio.Queue()
         self.inflight = 0  # admitted, future not yet done
         self.broken = False  # write failed: consume silently from here on
+        # Latest absolute deadline admitted on this connection, and
+        # whether any admitted request carried *no* deadline (sticky:
+        # one bare request means the emit flush can't be deadline-bounded).
+        self.deadline_horizon: Optional[float] = None
+        self.bare = False
 
 
 class SocketServer:
@@ -104,11 +127,21 @@ class SocketServer:
         host: str = "127.0.0.1",
         port: int = 0,
         window: Optional[int] = None,
+        emit_timeout: float = 60.0,
+        close_timeout: float = 5.0,
     ) -> None:
         self.executor = executor
         self.host = host
         self.port = port  # rewritten with the bound port by start()
         self.window = validate_window(window)
+        # Shutdown knobs (previously hard-coded): the bound on flushing
+        # a closing connection's FIFO, and on waiting for the transport
+        # to report closed.  When every request a connection admitted
+        # carried a deadline, the emit bound is tightened to just past
+        # the latest deadline — an expired client never pins the drain
+        # for the full emit_timeout.
+        self.emit_timeout = validate_timeout("emit_timeout", emit_timeout)
+        self.close_timeout = validate_timeout("close_timeout", close_timeout)
         self.handled = 0  # responses emitted (all connections)
         self.errors = 0  # of those, verdict == "ERROR"
         self.rejected = 0  # admission rejections (counted in errors too)
@@ -225,16 +258,34 @@ class SocketServer:
             try:
                 # Shielded: a second cancellation must not abandon the
                 # flush of already-completed responses.
-                await asyncio.wait_for(asyncio.shield(emit), timeout=60.0)
+                await asyncio.wait_for(
+                    asyncio.shield(emit), timeout=self._emit_bound(conn)
+                )
             except (asyncio.TimeoutError, asyncio.CancelledError):
                 emit.cancel()
             writer.close()
             try:
-                await asyncio.wait_for(writer.wait_closed(), timeout=5.0)
+                await asyncio.wait_for(
+                    writer.wait_closed(), timeout=self.close_timeout
+                )
             except (asyncio.TimeoutError, asyncio.CancelledError, *_WRITE_FAILURES):
                 pass
             if task is not None:
                 self._conn_tasks.discard(task)
+
+    def _emit_bound(self, conn: _Connection) -> float:
+        """Flush bound for a closing connection's emit FIFO.
+
+        ``emit_timeout`` by default; when *every* request the connection
+        admitted carried a deadline, tightened to one second past the
+        latest of those deadlines (floored at 0.5s) — the executor
+        answers each of them by then, typed or realized.
+        """
+        bound = self.emit_timeout
+        if conn.deadline_horizon is not None and not conn.bare:
+            remaining = conn.deadline_horizon - time.monotonic() + 1.0
+            bound = min(bound, max(0.5, remaining))
+        return bound
 
     async def _read_loop(
         self, reader: asyncio.StreamReader, conn: _Connection
@@ -294,11 +345,21 @@ class SocketServer:
             )
         self._inflight += 1
         conn.inflight += 1
+        # Deadlines are stamped at admission — queue time behind the
+        # thread/process pool counts against the client's budget, like
+        # any real RPC deadline.
+        deadline: Optional[float] = None
+        if getattr(request, "deadline_ms", None) is not None:
+            deadline = time.monotonic() + request.deadline_ms / 1000.0
+            if conn.deadline_horizon is None or deadline > conn.deadline_horizon:
+                conn.deadline_horizon = deadline
+        else:
+            conn.bare = True
         if self.executor.mode == "processes":
             # The async pool path — and deliberately the non-reopening
             # _submit: a racing close() must resolve the future, not
             # resurrect the pool.
-            cfut = self.executor._submit(request, Future())
+            cfut = self.executor._submit(request, Future(), deadline=deadline)
         else:
             assert self._threads is not None
             cfut = self._threads.submit(self.executor.handle, request)
@@ -337,6 +398,14 @@ class SocketServer:
             self.handled += 1
             if payload.get("verdict") == "ERROR":
                 self.errors += 1
+            if not conn.broken:
+                # Chaos hook: a writer_error fault simulates the client
+                # vanishing right before this response hits the socket.
+                plan = faults.active()
+                if plan is not None and plan.match(
+                    "writer_error", str(payload.get("request_id") or "")
+                ):
+                    conn.broken = True
             if conn.broken:
                 continue  # keep consuming so futures stay observed
             try:
@@ -368,6 +437,8 @@ class SocketServer:
                 "host": self.host,
                 "port": self.port,
                 "window": self.window,
+                "emit_timeout": self.emit_timeout,
+                "close_timeout": self.close_timeout,
                 "inflight": self._inflight,
                 "connections": len(self._connections),
                 "connections_total": self.connections_total,
@@ -386,6 +457,8 @@ def serve_socket(
     window: Optional[int] = None,
     ready: Optional[Callable[[SocketServer], None]] = None,
     install_signal_handlers: bool = True,
+    emit_timeout: float = 60.0,
+    close_timeout: float = 5.0,
 ) -> Tuple[int, int]:
     """Blocking socket-serve entry point (the CLI shape).
 
@@ -400,7 +473,12 @@ def serve_socket(
 
     async def _run() -> Tuple[int, int]:
         server = await SocketServer(
-            executor, host=host, port=port, window=window
+            executor,
+            host=host,
+            port=port,
+            window=window,
+            emit_timeout=emit_timeout,
+            close_timeout=close_timeout,
         ).start()
         if install_signal_handlers:
             loop = asyncio.get_running_loop()

@@ -26,12 +26,15 @@ import repro.service.executor as executor_module
 from repro.ncc.config import NCCConfig
 from repro.service import (
     BatchExecutor,
+    FaultPlan,
+    FaultRule,
     NetworkPool,
     RealizationRequest,
     ServiceError,
     default_registry,
     serve,
 )
+from repro.service import faults
 
 HAS_FORK = "fork" in multiprocessing.get_all_start_methods()
 
@@ -165,9 +168,10 @@ class TestStreamingServe:
                             if k not in ("request_id", "cached", "elapsed_sec")}
         assert fields(first) == fields(second)
 
-    @pytest.mark.skipif(not HAS_FORK, reason="crash probe needs fork inheritance")
-    def test_worker_crash_mid_stream_is_typed_and_recovers(self):
-        executor_module._CRASH_REQUEST_IDS = frozenset({"boom"})
+    def test_worker_crash_mid_stream_is_typed_and_recovers(self, monkeypatch):
+        plan = FaultPlan([FaultRule(action="crash", request_ids=("boom",))])
+        monkeypatch.setenv(faults.ENV_VAR, plan.to_json())
+        faults.clear()
         executor = BatchExecutor(pool=NetworkPool(), registry=default_registry(),
                                  cache_responses=False, mode="processes",
                                  workers=2)
@@ -184,7 +188,7 @@ class TestStreamingServe:
             assert harness.finish() == (3, 1)
             assert executor.stats()["worker_crashes"] >= 1
         finally:
-            executor_module._CRASH_REQUEST_IDS = frozenset()
+            faults.clear()
             executor.close()
 
     def test_reader_failure_propagates_not_silent_eof(self, processes_executor):

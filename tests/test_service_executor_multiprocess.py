@@ -21,13 +21,30 @@ from repro.ncc.network import Network
 from repro.ncc.config import NCCConfig
 from repro.service import (
     BatchExecutor,
+    FaultPlan,
+    FaultRule,
     NetworkPool,
     RealizationRequest,
     ServiceError,
     default_registry,
 )
+from repro.service import faults
 
 HAS_FORK = "fork" in multiprocessing.get_all_start_methods()
+HAS_SPAWN = "spawn" in multiprocessing.get_all_start_methods()
+
+
+@pytest.fixture
+def crash_plan(monkeypatch):
+    """Install a FaultPlan crashing the worker running request 'boom'.
+
+    Travels via the environment so pool workers pick it up under both
+    fork and spawn start methods."""
+    plan = FaultPlan([FaultRule(action="crash", request_ids=("boom",))])
+    monkeypatch.setenv(faults.ENV_VAR, plan.to_json())
+    faults.clear()  # drop any cached no-plan verdict in this process
+    yield plan
+    faults.clear()
 
 
 def req(kind="degree_implicit", scenario="regular", n=32, seed=0, **kw):
@@ -118,29 +135,41 @@ class TestProcessDrain:
         assert out[0].verdict != "ERROR"
         assert out[1].verdict == "ERROR" and out[1].request_id == "bad"
 
-    @pytest.mark.skipif(not HAS_FORK, reason="crash probe needs fork inheritance")
-    def test_worker_crash_fails_cleanly_and_drain_recovers(self):
+    def test_worker_crash_fails_cleanly_and_drain_recovers(self, crash_plan):
         """A dying worker costs its request a typed error, nothing more."""
-        executor_module._CRASH_REQUEST_IDS = frozenset({"boom"})
-        try:
-            batch = [req(seed=i, request_id=f"ok{i}") for i in range(4)]
-            batch.insert(2, req(seed=99, request_id="boom"))
-            with BatchExecutor(pool=NetworkPool(), registry=default_registry(),
-                               cache_responses=False,
-                               mode="processes", workers=2) as executor:
-                out = executor.run(batch)
-                stats = executor.stats()
-                # The drain is not wedged: the same executor keeps serving.
-                again = executor.run([req(seed=0, request_id="after")])
-        finally:
-            executor_module._CRASH_REQUEST_IDS = frozenset()
+        batch = [req(seed=i, request_id=f"ok{i}") for i in range(4)]
+        batch.insert(2, req(seed=99, request_id="boom"))
+        with BatchExecutor(pool=NetworkPool(), registry=default_registry(),
+                           cache_responses=False,
+                           mode="processes", workers=2) as executor:
+            out = executor.run(batch)
+            stats = executor.stats()
+            # The drain is not wedged: the same executor keeps serving.
+            again = executor.run([req(seed=0, request_id="after")])
         by_id = {r.request_id: r for r in out}
         assert by_id["boom"].verdict == "ERROR"
         assert by_id["boom"].error_code == "WORKER_CRASHED"
         for i in range(4):
             assert by_id[f"ok{i}"].verdict == "REALIZED", by_id[f"ok{i}"]
         assert stats["worker_crashes"] >= 1
+        assert stats["retries"] >= 1
         assert again[0].verdict == "REALIZED"
+
+    @pytest.mark.skipif(not HAS_SPAWN, reason="needs the spawn start method")
+    def test_worker_crash_recovers_under_spawn(self, crash_plan, monkeypatch):
+        """The FaultPlan travels via the environment, so crash injection
+        (and recovery) works under spawn, where the old module-global
+        seam could not reach the workers."""
+        spawn = multiprocessing.get_context("spawn")
+        monkeypatch.setattr(executor_module, "fork_context", lambda: spawn)
+        with BatchExecutor(pool=NetworkPool(), registry=default_registry(),
+                           cache_responses=False,
+                           mode="processes", workers=2) as executor:
+            out = executor.run([req(seed=99, request_id="boom"),
+                                req(seed=1, request_id="ok")])
+        by_id = {r.request_id: r for r in out}
+        assert by_id["boom"].error_code == "WORKER_CRASHED"
+        assert by_id["ok"].verdict == "REALIZED"
 
     def test_single_request_runs_in_process_mode_executor(self):
         with BatchExecutor(pool=NetworkPool(), registry=default_registry(),

@@ -28,6 +28,8 @@ import pytest
 import repro.service.executor as executor_module
 from repro.service import (
     BatchExecutor,
+    FaultPlan,
+    FaultRule,
     NetworkPool,
     RealizationRequest,
     RealizationResponse,
@@ -35,6 +37,7 @@ from repro.service import (
     default_registry,
     serve_socket,
 )
+from repro.service import faults
 from repro.service.server import ADMISSION_REJECTED
 
 HAS_FORK = "fork" in multiprocessing.get_all_start_methods()
@@ -293,9 +296,10 @@ class TestSocketServe:
         assert srv["handled"] == 1  # the realization; stats not yet emitted
         assert srv["rejected"] == 0 and srv["draining"] is False
 
-    @pytest.mark.skipif(not HAS_FORK, reason="crash probe needs fork inheritance")
-    def test_worker_crash_mid_connection_is_typed_and_recovers(self):
-        executor_module._CRASH_REQUEST_IDS = frozenset({"boom"})
+    def test_worker_crash_mid_connection_is_typed_and_recovers(self, monkeypatch):
+        plan = FaultPlan([FaultRule(action="crash", request_ids=("boom",))])
+        monkeypatch.setenv(faults.ENV_VAR, plan.to_json())
+        faults.clear()
         executor = BatchExecutor(pool=NetworkPool(), registry=default_registry(),
                                  cache_responses=False, mode="processes",
                                  workers=2)
@@ -323,7 +327,7 @@ class TestSocketServe:
 
             rows, (handled, errors) = run(scenario(), timeout=300)
         finally:
-            executor_module._CRASH_REQUEST_IDS = frozenset()
+            faults.clear()
             executor.close()
         assert [r["request_id"] for r in rows] == ["ok0", "boom", "ok1"]
         assert rows[0]["verdict"] == "REALIZED"
