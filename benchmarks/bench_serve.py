@@ -42,12 +42,28 @@ with a request deadline (the watchdog must answer a typed
 ride alongside clean traffic on a processes-mode executor; every
 surviving response is asserted field-identical to a clean sequential
 drain, and the row records typed-error counts plus recovery overhead.
-Run standalone with ``python benchmarks/bench_serve.py --chaos``.
+The chaos run now collects request-scoped traces too: the reassembled
+span trees for both faulty requests are asserted to carry their typed
+error codes and crash-recovery attempts.  Run standalone with
+``python benchmarks/bench_serve.py --chaos``.
+
+A fifth row, ``serve_trace_overhead``, prices the observability layer:
+the direct drive runs three interleaved ways on fresh executors —
+*baseline* (the span/stage plumbing stubbed out at the instance, the
+closest stand-in for the pre-instrumentation executor), *disabled*
+(the shipped default, ``tracer=None``), and *traced* (a live
+:class:`~repro.obs.Tracer` collecting every request tree).  The row
+records all three throughputs; ``disabled_overhead_pct`` must stay
+under ``TARGET_MAX_DISABLED_OVERHEAD_PCT`` (tracing you did not turn
+on may not tax the serve path), which ``run_experiments.py --check``
+gates on every fresh run.  Run standalone with
+``python benchmarks/bench_serve.py --trace-overhead``.
 """
 
 from __future__ import annotations
 
 import asyncio
+import gc
 import json
 import os
 import random
@@ -62,12 +78,17 @@ from repro.service import (
     NetworkPool,
     RealizationRequest,
     SocketServer,
+    Tracer,
     default_registry,
 )
 from repro.service import faults
 
 #: Acceptance: min(socket-mode req/s) / direct req/s.
 TARGET_MIN_EFFICIENCY = 0.5
+
+#: Acceptance: the serve path with tracing *disabled* (the default) may
+#: cost at most this much throughput versus the stubbed-out baseline.
+TARGET_MAX_DISABLED_OVERHEAD_PCT = 5.0
 
 #: Distinct requests: (kind, scenario, n, seed, extra request fields) —
 #: five workload kinds over two deployment identities, X-SVC's shape at
@@ -373,9 +394,11 @@ def measure_chaos():
     os.environ[faults.ENV_VAR] = chaos_plan().to_json()
     faults.clear()
     try:
+        tracer = Tracer(max_traces=64)
         executor = BatchExecutor(
             pool=NetworkPool(), cache_responses=True,
             registry=default_registry(), mode="processes", workers=2,
+            tracer=tracer,
         )
         try:
             # Prime the pool before any socket exists (fork inherits fds).
@@ -386,6 +409,7 @@ def measure_chaos():
                 _drive_chaos(executor, hang, crash, clean)
             )
             stats = executor.stats()
+            traces = tracer.drain()
         finally:
             executor.close()
     finally:
@@ -413,6 +437,25 @@ def measure_chaos():
         "be answer-preserving"
     )
     assert stats["worker_timeouts"] >= 1
+
+    # The chaos traces: one reassembled tree per admitted request (the
+    # priming request included), faulty roots tagged with their typed
+    # error codes and crash-recovery attempts, and at least one clean
+    # tree spanning parent admission -> worker rounds (the process
+    # boundary must not drop the worker-side subtree).
+    by_trace_id = {t.tags.get("request_id"): t for t in traces}
+    assert len(traces) == CHAOS_CLEAN + 3, (
+        f"expected {CHAOS_CLEAN + 3} traces, drained {len(traces)}"
+    )
+    hang_trace = by_trace_id["chaos-hang"]
+    assert hang_trace.tags.get("error_code") == "WORKER_TIMEOUT"
+    assert hang_trace.find("crash_recovery") is not None
+    crash_trace = by_trace_id["chaos-crash"]
+    assert crash_trace.tags.get("error_code") == "WORKER_CRASHED"
+    assert crash_trace.find("crash_recovery") is not None
+    assert any(t.find("worker") is not None for t in traces), (
+        "no trace reassembled a worker-side subtree"
+    )
     return {
         "workload": "serve_chaos",
         "n": 0,  # mixed traffic (n in {48, 96})
@@ -429,10 +472,146 @@ def measure_chaos():
         "elapsed_sec": round(elapsed, 4),
         "clean_elapsed_sec": round(clean_elapsed, 4),
         "recovery_overhead_sec": round(max(0.0, elapsed - clean_elapsed), 4),
+        "traces": len(traces),
+        "traced_faults": 2,
+    }
+
+
+# -------------------------------------------------------------------- #
+# Tracing overhead: the observability layer's price at the serve front  #
+# -------------------------------------------------------------------- #
+
+#: Interleaved best-of reps for the three overhead variants.
+TRACE_OVERHEAD_REPS = 5
+
+
+def _stub_observability(executor):
+    """Instance-stub the per-request span/stage plumbing.
+
+    The closest available stand-in for the pre-instrumentation
+    executor: admission opens no span and the stage histograms see
+    nothing, while everything else (cache, pool, counters) runs as
+    shipped.  The *disabled* variant is then measured against this.
+    """
+    executor._start_span = lambda request: None
+    executor._observe_stages = lambda total, response: None
+    return executor
+
+
+def _drive_direct(executor, traffic):
+    """One direct drive, CPU-clocked with GC paused.
+
+    The overhead deltas under test are a few percent of a ~quarter-
+    second drive; wall-clock jitter and GC pauses at that scale dwarf
+    the signal, so this times like `bench_protocol_wallclock` does —
+    `process_time` with collection deferred to the gaps between reps.
+    """
+    gc_was_enabled = gc.isenabled()
+    gc.collect()
+    gc.disable()
+    try:
+        start = time.process_time()
+        for request in traffic:
+            response = executor.handle(request)
+            assert response.ok, response
+        return time.process_time() - start
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+
+
+def measure_trace_overhead(reps: int = TRACE_OVERHEAD_REPS):
+    """The ``serve_trace_overhead`` row.
+
+    Three variants of the direct drive, interleaved per rep on fresh
+    executors (every variant pays the same cache misses):
+
+    * ``baseline_rps`` — span/stage plumbing stubbed out;
+    * ``requests_per_sec`` — the shipped default (``tracer=None``);
+    * ``traced_rps`` — a live :class:`Tracer` collecting every tree.
+
+    ``disabled_overhead_pct`` (default vs baseline) is the acceptance
+    number: instrumentation you did not enable must be ~free.
+    ``tracing_overhead_pct`` (traced vs default) is recorded honestly
+    but not gated — collecting spans is allowed to cost something.
+
+    The overhead percentages are *paired within a rep* and the minimum
+    across reps is kept: the instrumentation cost is a constant of the
+    code, while host noise (frequency scaling, a neighbour stealing the
+    core mid-run) only ever inflates one side of an unpaired
+    comparison.  Any single quiet rep bounds the true overhead from
+    above.
+    """
+    traffic = build_traffic()
+    timings = {"baseline": [], "disabled": [], "traced": []}
+    traced_count = 0
+    # One untimed pass on a throwaway executor absorbs import/alloc
+    # warm-up so the first timed variant isn't penalized.
+    warmup = _fresh_executor()
+    try:
+        _drive_direct(warmup, traffic)
+    finally:
+        warmup.close()
+    for _ in range(reps):
+        for variant in ("baseline", "disabled", "traced"):
+            if variant == "traced":
+                tracer = Tracer(max_traces=2 * TOTAL)
+                executor = BatchExecutor(
+                    pool=NetworkPool(), cache_responses=True,
+                    registry=default_registry(), tracer=tracer,
+                )
+            else:
+                tracer = None
+                executor = _fresh_executor()
+                if variant == "baseline":
+                    _stub_observability(executor)
+            try:
+                elapsed = _drive_direct(executor, traffic)
+            finally:
+                executor.close()
+            if tracer is not None:
+                traced_count = len(tracer.drain())
+                assert traced_count == TOTAL
+            timings[variant].append(elapsed)
+
+    best = {variant: min(series) for variant, series in timings.items()}
+    baseline_rps = TOTAL / best["baseline"]
+    disabled_rps = TOTAL / best["disabled"]
+    traced_rps = TOTAL / best["traced"]
+    disabled_overhead = min(
+        d / b - 1.0
+        for b, d in zip(timings["baseline"], timings["disabled"])
+    )
+    tracing_overhead = min(
+        t / d - 1.0
+        for d, t in zip(timings["disabled"], timings["traced"])
+    )
+    return {
+        "workload": "serve_trace_overhead",
+        "n": 0,  # mixed traffic (n in {48, 96})
+        "requests": TOTAL,
+        "distinct": len(DISTINCT),
+        "connections": 0,
+        "window": WINDOW,
+        "rejected": 0,
+        "traces": traced_count,
+        "elapsed_sec": round(best["disabled"], 4),
+        "baseline_rps": round(baseline_rps, 2),
+        "requests_per_sec": round(disabled_rps, 2),
+        "traced_rps": round(traced_rps, 2),
+        "disabled_overhead_pct": round(disabled_overhead * 100.0, 2),
+        "tracing_overhead_pct": round(tracing_overhead * 100.0, 2),
     }
 
 
 _results_cache = {}
+
+
+def trace_overhead_results():
+    """The ``serve_trace_overhead`` row; cached per process."""
+    if "trace_overhead" not in _results_cache:
+        _results_cache["trace_overhead"] = measure_trace_overhead()
+    return _results_cache["trace_overhead"]
 
 
 def chaos_results():
@@ -445,7 +624,9 @@ def chaos_results():
 def bench_results(reps: int = 2):
     """The BENCH_serve.json payload rows; cached per process."""
     if reps not in _results_cache:
-        _results_cache[reps] = measure(reps=reps) + [chaos_results()]
+        _results_cache[reps] = (
+            measure(reps=reps) + [chaos_results(), trace_overhead_results()]
+        )
     return _results_cache[reps]
 
 
@@ -478,6 +659,9 @@ def experiment() -> Experiment:
     ]
     ratio = efficiency(results)
     chaos = next(r for r in results if r["workload"] == "serve_chaos")
+    overhead = next(
+        r for r in results if r["workload"] == "serve_trace_overhead"
+    )
     return Experiment(
         exp_id="X-SERVE",
         claim="socket front end sustains near-direct throughput for many clients",
@@ -506,7 +690,17 @@ def experiment() -> Experiment:
             "one crashing worker (typed WORKER_CRASHED after retry "
             f"exhaustion) alongside {CHAOS_CLEAN} clean requests; all "
             "survivors asserted field-identical to a clean sequential "
-            f"drain, recovery overhead {chaos['recovery_overhead_sec']:.2f}s."
+            f"drain, recovery overhead {chaos['recovery_overhead_sec']:.2f}s; "
+            f"its {chaos['traces']} reassembled traces carry the typed "
+            "error codes and crash-recovery attempts.  The "
+            "serve_trace_overhead row prices the observability layer on "
+            "the direct drive (interleaved best-of reps, fresh executors): "
+            f"disabled-tracing overhead "
+            f"{overhead['disabled_overhead_pct']:.1f}% vs the stubbed "
+            f"baseline (gated <= {TARGET_MAX_DISABLED_OVERHEAD_PCT:.0f}% "
+            "by run_experiments.py --check), enabled-tracing overhead "
+            f"{overhead['tracing_overhead_pct']:.1f}% with all "
+            f"{overhead['traces']} request trees collected."
         ),
     )
 
@@ -542,11 +736,17 @@ if __name__ == "__main__":
         help="run only the chaos drive and print the serve_chaos row",
     )
     parser.add_argument(
+        "--trace-overhead", action="store_true",
+        help="run only the tracing-overhead drive and print its row",
+    )
+    parser.add_argument(
         "--reps", type=int, default=2,
         help="best-of reps for the throughput modes (default 2)",
     )
     cli = parser.parse_args()
     if cli.chaos:
         print(json.dumps(chaos_results(), indent=2))
+    elif cli.trace_overhead:
+        print(json.dumps(trace_overhead_results(), indent=2))
     else:
         print(json.dumps(bench_results(reps=cli.reps), indent=2))

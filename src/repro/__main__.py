@@ -26,7 +26,11 @@ writing a script:
   ``ADMISSION_REJECTED`` overflow responses; requests may carry a
   ``deadline_ms`` wall-clock budget (typed ``DEADLINE_EXCEEDED``), and
   ``--hang-timeout`` arms the processes-mode watchdog (typed
-  ``WORKER_TIMEOUT``);
+  ``WORKER_TIMEOUT``); ``--trace-out`` collects request-scoped traces
+  and ``--metrics-port`` exposes the Prometheus exposition over HTTP;
+* ``trace requests.jsonl --out trace.json`` — drain a batch with
+  tracing enabled and write the span trees as Chrome ``trace_event``
+  JSON (``--format jsonl`` for one tree per line);
 * ``profile sorting --n 256 [--top 25] [--sort-by cumulative]`` — run a
   registry scenario under ``cProfile`` and print the hottest functions,
   so perf work starts from data instead of guesses.
@@ -199,7 +203,7 @@ def cmd_approx(args) -> int:
 # ---------------------------------------------------------------------- #
 
 
-def _make_executor(args):
+def _make_executor(args, tracer=None):
     from repro.service import BatchExecutor, NetworkPool
 
     try:
@@ -209,9 +213,26 @@ def _make_executor(args):
             mode=getattr(args, "mode", "sequential"),
             workers=getattr(args, "workers", 4),
             hang_timeout=getattr(args, "hang_timeout", None),
+            tracer=tracer,
         )
     except ValueError as exc:
         raise SystemExit(str(exc))
+
+
+def _write_traces(tracer, path: str, fmt: str = "chrome") -> int:
+    """Drain ``tracer`` into ``path``; returns the trace count."""
+    from repro.obs import write_chrome_trace, write_trace_jsonl
+
+    roots = tracer.drain()
+    try:
+        with open(path, "w") as handle:
+            if fmt == "jsonl":
+                write_trace_jsonl(roots, handle)
+            else:
+                write_chrome_trace(roots, handle)
+    except OSError as exc:
+        raise SystemExit(f"cannot write trace file: {exc}")
+    return len(roots)
 
 
 def cmd_scenarios(args) -> int:
@@ -280,7 +301,32 @@ def cmd_serve(args) -> int:
         raise SystemExit(str(exc))
     if args.port is not None and not 0 <= args.port <= 65535:
         raise SystemExit(f"--port must be in 0..65535, got {args.port}")
-    executor = _make_executor(args)
+    if args.metrics_port is not None and not 0 <= args.metrics_port <= 65535:
+        raise SystemExit(
+            f"--metrics-port must be in 0..65535, got {args.metrics_port}"
+        )
+    tracer = None
+    if args.trace_out is not None:
+        from repro.obs import Tracer
+
+        tracer = Tracer()
+    executor = _make_executor(args, tracer=tracer)
+    metrics_httpd = None
+    if args.metrics_port is not None:
+        from repro.obs import start_metrics_http
+
+        try:
+            metrics_httpd, _ = start_metrics_http(
+                executor.metrics, args.metrics_port
+            )
+        except OSError as exc:
+            executor.close()
+            raise SystemExit(f"cannot bind --metrics-port: {exc}")
+        print(
+            f"serve[{executor.mode}]: metrics on "
+            f"http://127.0.0.1:{metrics_httpd.server_address[1]}/metrics",
+            file=sys.stderr, flush=True,
+        )
     if args.port is not None:
         from repro.service.server import serve_socket
 
@@ -304,14 +350,53 @@ def cmd_serve(args) -> int:
             raise SystemExit(str(exc))
         finally:
             executor.close()
+            if metrics_httpd is not None:
+                metrics_httpd.shutdown()
     else:
         try:
             handled, errors = serve(sys.stdin, sys.stdout, executor, window=window)
         finally:
             executor.close()
+            if metrics_httpd is not None:
+                metrics_httpd.shutdown()
+    if tracer is not None:
+        traces = _write_traces(tracer, args.trace_out, args.trace_format)
+        print(
+            f"serve[{executor.mode}]: wrote {traces} trace(s) to "
+            f"{args.trace_out}",
+            file=sys.stderr,
+        )
     print(
         f"serve[{executor.mode}]: emitted {handled} response(s), "
         f"{errors} error(s)",
+        file=sys.stderr,
+    )
+    return 1 if errors else 0
+
+
+def cmd_trace(args) -> int:
+    from repro.obs import Tracer
+    from repro.service import run_batch_lines
+
+    if args.path == "-":
+        lines = sys.stdin.read().splitlines()
+    else:
+        try:
+            with open(args.path) as handle:
+                lines = handle.read().splitlines()
+        except OSError as exc:
+            raise SystemExit(f"cannot read batch file: {exc}")
+    tracer = Tracer()
+    executor = _make_executor(args, tracer=tracer)
+    try:
+        responses = run_batch_lines(lines, executor)
+    finally:
+        executor.close()
+    traces = _write_traces(tracer, args.out, args.format)
+    errors = sum(1 for r in responses if r.verdict == "ERROR")
+    print(
+        f"trace[{executor.mode}]: {len(responses)} response(s), "
+        f"{errors} error(s); wrote {traces} trace(s) to {args.out}",
         file=sys.stderr,
     )
     return 1 if errors else 0
@@ -501,7 +586,51 @@ def build_parser() -> argparse.ArgumentParser:
         "runs longer than this many seconds even without a deadline_ms "
         "(typed WORKER_TIMEOUT; default: off, deadlines still enforced)",
     )
+    p.add_argument(
+        "--trace-out", default=None, metavar="PATH",
+        help="enable request-scoped tracing and write the collected "
+        "traces to PATH at shutdown (--trace-format selects the format)",
+    )
+    p.add_argument(
+        "--trace-format", choices=("chrome", "jsonl"), default="chrome",
+        help="trace file format for --trace-out: Chrome trace_event JSON "
+        "(load in chrome://tracing / Perfetto) or one span tree per "
+        "line (default %(default)s)",
+    )
+    p.add_argument(
+        "--metrics-port", type=int, default=None, metavar="PORT",
+        help="also expose the Prometheus text exposition on "
+        "http://127.0.0.1:PORT/metrics (0 = ephemeral; the bound "
+        "address is printed to stderr).  The same text is available "
+        "in-band via a {\"kind\": \"metrics\"} request line",
+    )
     p.set_defaults(fn=cmd_serve)
+
+    p = sub.add_parser(
+        "trace",
+        help="drain a JSONL request batch with tracing enabled and "
+        "write the span trees (file path or '-' for stdin)",
+    )
+    p.add_argument("path", help="JSONL file with one request object per line")
+    p.add_argument(
+        "--out", required=True, metavar="PATH", help="trace output file"
+    )
+    p.add_argument(
+        "--format", choices=("chrome", "jsonl"), default="chrome",
+        help="Chrome trace_event JSON or one span tree per line "
+        "(default %(default)s)",
+    )
+    p.add_argument(
+        "--mode",
+        choices=("sequential", "threads", "processes"),
+        default="sequential",
+        help="drain strategy (processes: worker-side spans ship back "
+        "over the wire and reassemble under each request's trace)",
+    )
+    p.add_argument("--workers", type=int, default=4)
+    p.add_argument("--no-pool", action="store_true", help="fresh network per request")
+    p.add_argument("--no-cache", action="store_true", help="disable response cache")
+    p.set_defaults(fn=cmd_trace)
 
     p = sub.add_parser("profile", help="profile a workload under cProfile")
     p.add_argument(

@@ -47,6 +47,7 @@ from __future__ import annotations
 
 from collections import Counter
 from operator import itemgetter
+from time import perf_counter
 from typing import TYPE_CHECKING, Dict, List, Tuple, Type
 
 from repro.ncc.config import EnforcementMode
@@ -84,6 +85,11 @@ class ReferenceEngine:
     def deliver(self, plan: "RoundPlan") -> Inboxes:
         """Validate, enforce and deliver one round, message by message."""
         net = self.net
+        # Phase observer: only when this engine is the network's own
+        # (a violation replay inside fast/sharded reports through the
+        # wrapping engine instead, so each round is observed once).
+        observer = net.round_observer if net.engine is self else None
+        t0 = perf_counter() if observer is not None else 0.0
         per_sender: Dict[int, int] = {}
         staged: Dict[int, List[Message]] = {}
 
@@ -102,6 +108,7 @@ class ReferenceEngine:
                 raise SendCapExceeded(src, net.send_cap, attempted)
             staged.setdefault(dst, []).append(message.with_src(src))
 
+        t1 = perf_counter() if observer is not None else 0.0
         inboxes: Inboxes = {}
         mode = net.config.enforcement
         receivers = set(staged)
@@ -133,6 +140,13 @@ class ReferenceEngine:
         net.max_round_load = max(net.max_round_load, load)
         for tracer in net.tracers:
             tracer(net.rounds, inboxes)
+        if observer is not None:
+            observer(
+                net.rounds,
+                {"validate": t1 - t0, "deliver": perf_counter() - t1},
+                load,
+                net.pending_deferred(),
+            )
         return inboxes
 
 
@@ -198,6 +212,8 @@ class FastEngine:
 
     def deliver(self, plan: "RoundPlan") -> Inboxes:
         net = self.net
+        observer = net.round_observer
+        t0 = perf_counter() if observer is not None else 0.0
         known = net.known
         known_get = known.get
         max_words = net.config.max_words
@@ -327,16 +343,31 @@ class FastEngine:
                         violation = True
                         break
 
+        t1 = perf_counter() if observer is not None else 0.0
+
         if violation:
             # Replay through the reference loop: it raises the exact
             # exception (or, if the batch check over-approximated,
             # returns the exact result) with reference-identical state.
+            # The observer sees the replay as a ``fallback`` phase; the
+            # reference engine stays silent here (it only reports when
+            # it is the network's own engine).
             try:
                 return self._reference.deliver(plan)
             finally:
                 self._spill_pending = {
                     v for v, q in net._deferred.items() if q
                 }
+                if observer is not None:
+                    observer(
+                        net.rounds,
+                        {
+                            "validate": t1 - t0,
+                            "fallback": perf_counter() - t1,
+                        },
+                        biggest,
+                        net.pending_deferred(),
+                    )
 
         # Pass 2 — deliver.  No model constraint can fail from here on.
         messages_delivered = len(sends)
@@ -443,6 +474,13 @@ class FastEngine:
         if net.tracers:
             for tracer in net.tracers:
                 tracer(net.rounds, inboxes)
+        if observer is not None:
+            observer(
+                net.rounds,
+                {"validate": t1 - t0, "deliver": perf_counter() - t1},
+                max_load,
+                net.pending_deferred(),
+            )
         return inboxes
 
 

@@ -176,6 +176,16 @@ class Network:
         self.wall_deadline: Optional[float] = None
         self.clock: Callable[[], float] = time.monotonic
 
+        # Opt-in per-round phase observer (observability layer).  None —
+        # the default — keeps the engines' hot paths branch-only flat;
+        # when set, engines call it once per delivered round with
+        # ``(round_no, phase_seconds, queue_depth, defer_backlog)``.
+        # Run state, not construction state: cleared by reset() so pool
+        # leases never leak an observer across requests.
+        self.round_observer: Optional[
+            Callable[[int, Dict[str, float], int, int], None]
+        ] = None
+
         # Round-execution engine (config.engine: "fast" | "reference" |
         # "sharded").  Engines with replicated state expose a note_grant
         # hook so out-of-band knowledge grants reach their replicas.
@@ -227,6 +237,7 @@ class Network:
         self._deferred = defaultdict(deque)
         self.round_budget = None
         self.wall_deadline = None
+        self.round_observer = None
         self.engine.reset()
         return self
 
@@ -350,6 +361,26 @@ class Network:
         if deadline is not None and not isinstance(deadline, (int, float)):
             raise ValueError(f"wall deadline must be a timestamp, got {deadline!r}")
         self.wall_deadline = None if deadline is None else float(deadline)
+
+    def set_round_observer(
+        self,
+        observer: Optional[Callable[[int, Dict[str, float], int, int], None]],
+    ) -> None:
+        """Install (or clear) the per-round phase observer.
+
+        The engines call ``observer(round_no, phase_seconds,
+        queue_depth, defer_backlog)`` once per delivered round:
+        ``phase_seconds`` maps phase names (``validate``/``deliver``,
+        plus ``exchange`` for the sharded engine and ``fallback`` for
+        violation replays) to wall seconds, ``queue_depth`` is the
+        round's max inbox load, ``defer_backlog`` the defer-mode queue
+        total after the round.  Observers must not mutate network state
+        — they see timings, not the simulation.  Cleared by
+        :meth:`reset`, so pooled leases never inherit one.
+        """
+        if observer is not None and not callable(observer):
+            raise ValueError(f"round observer must be callable, got {observer!r}")
+        self.round_observer = observer
 
     def charge(self, rounds: int, reason: str = "") -> None:
         """Account ``rounds`` rounds for a charged-mode primitive."""

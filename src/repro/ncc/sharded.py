@@ -67,6 +67,7 @@ import os
 import traceback
 import weakref
 from collections import Counter, deque
+from time import perf_counter
 from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 from repro.ncc.config import EnforcementMode
@@ -549,14 +550,31 @@ class ShardedEngine:
         except OSError:
             self.close()
 
-    def _fallback(self, plan: "RoundPlan") -> Inboxes:
+    def _fallback(
+        self, plan: "RoundPlan", observer=None, started: float = 0.0
+    ) -> Inboxes:
         """Replay through the reference loop (exact errors, exact partial
-        state), then resynchronize the replicas from the mutated parent."""
+        state), then resynchronize the replicas from the mutated parent.
+
+        When a round observer is installed the replay reports here as a
+        ``fallback`` phase (the reference engine itself stays silent —
+        it only reports when it is the network's own engine)."""
+        replay_at = perf_counter() if observer is not None else 0.0
         try:
             return self._reference.deliver(plan)
         finally:
             if self._conns is not None:
                 self._resync()
+            if observer is not None:
+                observer(
+                    self.net.rounds,
+                    {
+                        "validate": replay_at - started,
+                        "fallback": perf_counter() - replay_at,
+                    },
+                    0,
+                    self.net.pending_deferred(),
+                )
 
     def deliver(self, plan: "RoundPlan") -> Inboxes:
         net = self.net
@@ -568,6 +586,8 @@ class ShardedEngine:
             inboxes: Inboxes = {}
             for tracer in net.tracers:
                 tracer(net.rounds, inboxes)
+            if net.round_observer is not None:
+                net.round_observer(net.rounds, {}, 0, 0)
             return inboxes
 
         if self._conns is None:
@@ -583,6 +603,8 @@ class ShardedEngine:
 
     def _deliver_sharded(self, plan: "RoundPlan", sends) -> Inboxes:
         net = self.net
+        observer = net.round_observer
+        t0 = perf_counter() if observer is not None else 0.0
         conns = self._conns
         shard_of = self._shard_of
 
@@ -599,7 +621,7 @@ class ShardedEngine:
                 break
             per_shard[s].append((idx, src, dst, message))
         if violation:
-            return self._fallback(plan)
+            return self._fallback(plan, observer, t0)
 
         # Phase 1 — stage.  Grants queued since the last round ride
         # along, each to the shard owning the granted node.
@@ -645,12 +667,14 @@ class ShardedEngine:
             if arrivals and max(arrivals.values()) > net.recv_cap:
                 violation = True
         if violation:
-            return self._fallback(plan)
+            return self._fallback(plan, observer, t0)
+        t1 = perf_counter() if observer is not None else 0.0
 
         # Phase 2 — barrier exchange + delivery.
         for s, conn in enumerate(conns):
             conn.send(("deliver", route[s]))
         deltas = [self._recv(conn) for conn in conns]
+        t2 = perf_counter() if observer is not None else 0.0
 
         # Merge in shard order == simulator index order (contiguous
         # shards), and mirror every delta onto the parent's state.
@@ -690,4 +714,15 @@ class ShardedEngine:
             net.max_round_load = max_load
         for tracer in net.tracers:
             tracer(net.rounds, inboxes)
+        if observer is not None:
+            observer(
+                net.rounds,
+                {
+                    "validate": t1 - t0,
+                    "exchange": t2 - t1,
+                    "deliver": perf_counter() - t2,
+                },
+                max_load,
+                net.pending_deferred(),
+            )
         return inboxes

@@ -276,3 +276,32 @@ def decode_id_groups(blob: tuple) -> List[Tuple[int, Iterable[int]]]:
         for i, boxed in oversize.items():
             out[i] = boxed
     return out
+
+
+# --------------------------------------------------------------------- #
+# Observability trailers                                                #
+# --------------------------------------------------------------------- #
+#
+# A fourth shape rides the request/response envelopes of
+# ``repro.service.api``: one *optional* trailing element past the fixed
+# ``_WIRE_KEYS`` width.  Outbound it carries the compact trace context
+# ``(trace_id, parent_span_id)``; inbound it carries the worker's span
+# tree flattened into columns (``repro.obs.trace.encode_span_columns``
+# — same struct-of-arrays idea as the message columns above).  Peers
+# that predate tracing — or requests with tracing disabled — simply
+# ship the bare tuple; ``wire_body`` makes decoding agnostic.
+
+
+def attach_trailer(wire: tuple, trailer) -> tuple:
+    """Append one observability trailer element to a wire envelope."""
+    return wire + (trailer,)
+
+
+def wire_body(wire: tuple, width: int) -> tuple:
+    """The fixed-width envelope, with any trailer sliced off."""
+    return wire[:width] if len(wire) > width else wire
+
+
+def wire_trailer(wire: tuple, width: int):
+    """The trailer element, or ``None`` when the envelope is bare."""
+    return wire[width] if len(wire) > width else None

@@ -1,0 +1,62 @@
+"""repro.obs — the zero-dependency observability layer.
+
+Three cooperating pieces, shared by the whole serve stack:
+
+* **Request-scoped tracing** (:mod:`~repro.obs.trace`): a bounded
+  :class:`Span` tree opened at admission, carried through every drain
+  mode and across the process-pool boundary (fork *and* spawn) as a
+  compact trace context on the columnar wire envelope, reassembled into
+  one tree per request in the parent and exported as JSONL or Chrome
+  ``trace_event`` JSON (:mod:`~repro.obs.exporters`).
+* **A unified metrics registry** (:mod:`~repro.obs.metrics`):
+  :class:`Counter`/:class:`Gauge`/:class:`Histogram` with labels behind
+  one :class:`MetricsRegistry`, rendered in Prometheus text exposition
+  format.  The executor's counters *are* registry instruments; its
+  ``stats()`` keys are a view over them, and the pool/breaker/server
+  counters join the same exposition through collector callbacks.
+* **Engine phase hooks** (:func:`~repro.obs.trace.RoundPhaseAggregate`
+  + ``Network.set_round_observer``): opt-in per-round
+  validate/exchange/deliver timing with queue depth and defer backlog,
+  feeding both spans and histograms — a ``None`` observer (the default)
+  keeps the engine hot path flat.
+
+Everything here is stdlib-only and imports nothing from ``repro.ncc``
+or ``repro.service`` — the rest of the system layers on top.
+"""
+
+from repro.obs.exporters import (
+    PROMETHEUS_CONTENT_TYPE,
+    chrome_trace,
+    span_to_dict,
+    start_metrics_http,
+    write_chrome_trace,
+    write_trace_jsonl,
+)
+from repro.obs.latency import LatencyRecorder
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.trace import (
+    RoundPhaseAggregate,
+    Span,
+    Tracer,
+    decode_span_columns,
+    encode_span_columns,
+)
+
+__all__ = [
+    "Counter",
+    "PROMETHEUS_CONTENT_TYPE",
+    "Gauge",
+    "Histogram",
+    "LatencyRecorder",
+    "MetricsRegistry",
+    "RoundPhaseAggregate",
+    "Span",
+    "Tracer",
+    "chrome_trace",
+    "decode_span_columns",
+    "encode_span_columns",
+    "span_to_dict",
+    "start_metrics_http",
+    "write_chrome_trace",
+    "write_trace_jsonl",
+]

@@ -1,0 +1,484 @@
+"""Unified metrics registry with Prometheus text exposition.
+
+``Counter``/``Gauge``/``Histogram`` with optional labels behind one
+:class:`MetricsRegistry`.  Counters are deliberately int-like
+(``int()``, comparisons, ``==``) so call sites that used to read the
+executor's ad-hoc ``self.x += 1`` integers keep working against the
+registry-backed instruments without change.
+
+For components that keep their own counters under their own locks
+(network pool, circuit breaker, socket server), the registry accepts
+*collector callbacks* that produce samples at scrape time instead of
+duplicating state.
+"""
+
+from __future__ import annotations
+
+import bisect
+import threading
+from collections import deque
+from typing import (
+    Any,
+    Callable,
+    Deque,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+__all__ = [
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Sample",
+]
+
+# Seconds-scale latency buckets: 100µs .. 10s, roughly log-spaced.
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.0001,
+    0.00025,
+    0.0005,
+    0.001,
+    0.0025,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+    10.0,
+)
+
+#: One exposition sample: (metric name, label pairs, value).
+Sample = Tuple[str, Tuple[Tuple[str, str], ...], float]
+
+_NAME_OK = set("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_:")
+
+
+def _check_name(name: str) -> str:
+    if not name or name[0].isdigit() or any(ch not in _NAME_OK for ch in name):
+        raise ValueError("invalid metric name: %r" % (name,))
+    return name
+
+
+def _escape_label(value: Any) -> str:
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace("\n", "\\n")
+        .replace('"', '\\"')
+    )
+
+
+def _format_labels(labels: Tuple[Tuple[str, str], ...]) -> str:
+    if not labels:
+        return ""
+    body = ",".join('%s="%s"' % (k, _escape_label(v)) for k, v in labels)
+    return "{%s}" % body
+
+
+def _format_value(value: float) -> str:
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+class _Metric:
+    """Base: a named family with optional label dimensions."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help: str, label_names: Sequence[str] = ()) -> None:
+        self.name = _check_name(name)
+        self.help = help
+        self.label_names = tuple(label_names)
+        self._lock = threading.Lock()
+        self._children: Dict[Tuple[str, ...], Any] = {}
+
+    def labels(self, **labels: Any) -> Any:
+        if tuple(sorted(labels)) != tuple(sorted(self.label_names)):
+            raise ValueError(
+                "metric %s expects labels %r, got %r"
+                % (self.name, self.label_names, tuple(labels))
+            )
+        key = tuple(str(labels[name]) for name in self.label_names)
+        with self._lock:
+            child = self._children.get(key)
+            if child is None:
+                child = self._children[key] = self._make_child()
+            return child
+
+    def _make_child(self) -> Any:
+        raise NotImplementedError
+
+    def _child_items(self) -> List[Tuple[Tuple[Tuple[str, str], ...], Any]]:
+        with self._lock:
+            items = list(self._children.items())
+        return [
+            (tuple(zip(self.label_names, key)), child) for key, child in items
+        ]
+
+    def samples(self) -> List[Sample]:
+        raise NotImplementedError
+
+
+class _CounterValue:
+    """A single monotonically-increasing value; int-like on read."""
+
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> int:
+        with self._lock:
+            return self._value
+
+    def __int__(self) -> int:
+        return self.value
+
+    def __index__(self) -> int:
+        return self.value
+
+    def __eq__(self, other: Any) -> bool:
+        if isinstance(other, _CounterValue):
+            return self.value == other.value
+        return self.value == other
+
+    def __ne__(self, other: Any) -> bool:
+        return not self.__eq__(other)
+
+    def __lt__(self, other: Any) -> bool:
+        return self.value < other
+
+    def __le__(self, other: Any) -> bool:
+        return self.value <= other
+
+    def __gt__(self, other: Any) -> bool:
+        return self.value > other
+
+    def __ge__(self, other: Any) -> bool:
+        return self.value >= other
+
+    def __hash__(self) -> int:
+        return hash(self.value)
+
+    def __bool__(self) -> bool:
+        return self.value != 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return str(self.value)
+
+
+class Counter(_Metric, _CounterValue):
+    """Counter family.  Unlabeled: inc()/value on the family itself;
+    labeled: ``counter.labels(kind="tree").inc()``."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str, label_names: Sequence[str] = ()) -> None:
+        _Metric.__init__(self, name, help, label_names)
+        _CounterValue.__init__(self)
+        # _Metric and _CounterValue both define _lock; keep them distinct.
+        self._value_lock = threading.Lock()
+
+    def inc(self, amount: int = 1) -> None:
+        if self.label_names:
+            raise ValueError("labeled counter %s needs .labels(...)" % self.name)
+        if amount < 0:
+            raise ValueError("counters only go up")
+        with self._value_lock:
+            self._value += amount
+
+    @property
+    def value(self) -> int:
+        if self.label_names:
+            return sum(child.value for _, child in self._child_items())
+        with self._value_lock:
+            return self._value
+
+    def _make_child(self) -> _CounterValue:
+        return _CounterValue()
+
+    def as_dict(self) -> Dict[str, int]:
+        """Label-value → count map for single-label counters."""
+        if len(self.label_names) != 1:
+            raise ValueError("as_dict needs exactly one label dimension")
+        return {
+            labels[0][1]: child.value for labels, child in self._child_items()
+        }
+
+    def samples(self) -> List[Sample]:
+        if self.label_names:
+            return [
+                (self.name, labels, float(child.value))
+                for labels, child in sorted(self._child_items())
+            ]
+        return [(self.name, (), float(self.value))]
+
+
+class _GaugeValue:
+    __slots__ = ("_lock", "_value", "_fn")
+
+    def __init__(self, fn: Optional[Callable[[], float]] = None) -> None:
+        self._lock = threading.Lock()
+        self._value = 0.0
+        self._fn = fn
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.inc(-amount)
+
+    @property
+    def value(self) -> float:
+        if self._fn is not None:
+            return float(self._fn())
+        with self._lock:
+            return self._value
+
+
+class Gauge(_Metric, _GaugeValue):
+    """Gauge family; may wrap a callback (``fn=``) read at scrape time."""
+
+    kind = "gauge"
+
+    def __init__(
+        self,
+        name: str,
+        help: str,
+        label_names: Sequence[str] = (),
+        fn: Optional[Callable[[], float]] = None,
+    ) -> None:
+        if fn is not None and label_names:
+            raise ValueError("callback gauges cannot be labeled")
+        _Metric.__init__(self, name, help, label_names)
+        _GaugeValue.__init__(self, fn)
+
+    def _make_child(self) -> _GaugeValue:
+        return _GaugeValue()
+
+    def samples(self) -> List[Sample]:
+        if self.label_names:
+            return [
+                (self.name, labels, float(child.value))
+                for labels, child in sorted(self._child_items())
+            ]
+        return [(self.name, (), float(self.value))]
+
+
+class _HistogramValue:
+    __slots__ = ("_lock", "buckets", "counts", "total", "count", "_reservoir")
+
+    def __init__(self, buckets: Tuple[float, ...], reservoir: int) -> None:
+        self.buckets = buckets
+        self.counts = [0] * (len(buckets) + 1)  # +Inf bucket last
+        self.total = 0.0
+        self.count = 0
+        self._lock = threading.Lock()
+        self._reservoir: Deque[float] = deque(maxlen=reservoir)
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        idx = bisect.bisect_left(self.buckets, value)
+        with self._lock:
+            self.counts[idx] += 1
+            self.total += value
+            self.count += 1
+            self._reservoir.append(value)
+
+    def percentile(self, fraction: float) -> float:
+        """Approximate percentile (seconds) from the bounded reservoir."""
+        with self._lock:
+            data = sorted(self._reservoir)
+        if not data:
+            return 0.0
+        rank = min(len(data) - 1, max(0, int(round(fraction * (len(data) - 1)))))
+        return data[rank]
+
+    def snapshot(self) -> Dict[str, float]:
+        """Milliseconds snapshot matching the LatencyRecorder shape."""
+        with self._lock:
+            count = self.count
+            total = self.total
+        mean = (total / count) if count else 0.0
+        return {
+            "count": count,
+            "mean_ms": round(mean * 1000.0, 3),
+            "p50_ms": round(self.percentile(0.50) * 1000.0, 3),
+            "p99_ms": round(self.percentile(0.99) * 1000.0, 3),
+        }
+
+
+class Histogram(_Metric, _HistogramValue):
+    """Histogram family with Prometheus cumulative buckets plus a
+    bounded reservoir so the same instrument can answer p50/p99
+    snapshots for the serve ``stats`` kind."""
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str,
+        label_names: Sequence[str] = (),
+        buckets: Tuple[float, ...] = DEFAULT_BUCKETS,
+        reservoir: int = 2048,
+    ) -> None:
+        _Metric.__init__(self, name, help, label_names)
+        _HistogramValue.__init__(self, tuple(sorted(buckets)), reservoir)
+        self._reservoir_size = reservoir
+
+    def _make_child(self) -> _HistogramValue:
+        return _HistogramValue(self.buckets, self._reservoir_size)
+
+    def _value_samples(
+        self, labels: Tuple[Tuple[str, str], ...], value: _HistogramValue
+    ) -> List[Sample]:
+        out: List[Sample] = []
+        with value._lock:
+            counts = list(value.counts)
+            total = value.total
+            count = value.count
+        running = 0
+        for bound, bucket_count in zip(value.buckets, counts):
+            running += bucket_count
+            out.append(
+                (
+                    self.name + "_bucket",
+                    labels + (("le", _format_value(bound)),),
+                    float(running),
+                )
+            )
+        out.append((self.name + "_bucket", labels + (("le", "+Inf"),), float(count)))
+        out.append((self.name + "_sum", labels, total))
+        out.append((self.name + "_count", labels, float(count)))
+        return out
+
+    def samples(self) -> List[Sample]:
+        if self.label_names:
+            out: List[Sample] = []
+            for labels, child in sorted(self._child_items()):
+                out.extend(self._value_samples(labels, child))
+            return out
+        return self._value_samples((), self)
+
+
+class MetricsRegistry:
+    """Get-or-create instrument registry + Prometheus text renderer.
+
+    ``counter()``/``gauge()``/``histogram()`` are idempotent by name
+    (re-registering with a different type raises).  Components that
+    keep state elsewhere register *collectors*: keyed callables
+    returning ``(name, kind, help, samples)`` families at scrape time;
+    re-registering a key replaces the callback (serve restarts).
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._metrics: Dict[str, _Metric] = {}
+        self._collectors: Dict[str, Callable[[], Iterable[Tuple[str, str, str, List[Sample]]]]] = {}
+
+    def _register(self, metric: _Metric) -> _Metric:
+        with self._lock:
+            existing = self._metrics.get(metric.name)
+            if existing is not None:
+                if type(existing) is not type(metric):
+                    raise ValueError(
+                        "metric %s already registered as %s"
+                        % (metric.name, existing.kind)
+                    )
+                return existing
+            self._metrics[metric.name] = metric
+            return metric
+
+    def counter(
+        self, name: str, help: str = "", label_names: Sequence[str] = ()
+    ) -> Counter:
+        metric = self._register(Counter(name, help, label_names))
+        assert isinstance(metric, Counter)
+        return metric
+
+    def gauge(
+        self,
+        name: str,
+        help: str = "",
+        label_names: Sequence[str] = (),
+        fn: Optional[Callable[[], float]] = None,
+    ) -> Gauge:
+        metric = self._register(Gauge(name, help, label_names, fn=fn))
+        assert isinstance(metric, Gauge)
+        return metric
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        label_names: Sequence[str] = (),
+        buckets: Tuple[float, ...] = DEFAULT_BUCKETS,
+        reservoir: int = 2048,
+    ) -> Histogram:
+        metric = self._register(
+            Histogram(name, help, label_names, buckets=buckets, reservoir=reservoir)
+        )
+        assert isinstance(metric, Histogram)
+        return metric
+
+    def register_collector(
+        self,
+        key: str,
+        fn: Callable[[], Iterable[Tuple[str, str, str, List[Sample]]]],
+    ) -> None:
+        with self._lock:
+            self._collectors[key] = fn
+
+    def unregister_collector(self, key: str) -> None:
+        with self._lock:
+            self._collectors.pop(key, None)
+
+    def families(self) -> List[Tuple[str, str, str, List[Sample]]]:
+        """All (name, kind, help, samples) families, metrics then collectors."""
+        with self._lock:
+            metrics = list(self._metrics.values())
+            collectors = list(self._collectors.values())
+        out = [(m.name, m.kind, m.help, m.samples()) for m in metrics]
+        for collect in collectors:
+            out.extend(collect())
+        return out
+
+    def render(self) -> str:
+        """Prometheus text exposition format 0.0.4."""
+        lines: List[str] = []
+        for name, kind, help, samples in self.families():
+            if help:
+                lines.append("# HELP %s %s" % (name, help.replace("\n", " ")))
+            lines.append("# TYPE %s %s" % (name, kind))
+            for sample_name, labels, value in samples:
+                lines.append(
+                    "%s%s %s"
+                    % (sample_name, _format_labels(labels), _format_value(value))
+                )
+        return "\n".join(lines) + "\n"

@@ -44,8 +44,11 @@ from repro.service.executor import (
     validate_window,
 )
 from repro.service.pool import NetworkPool
+from repro.obs import MetricsRegistry, Span, Tracer
 from repro.service.server import (
     ADMISSION_REJECTED,
+    METRICS_KIND,
+    STATS_KIND,
     SocketServer,
     serve_socket,
     validate_timeout,
@@ -66,15 +69,20 @@ __all__ = [
     "FaultRule",
     "KINDS",
     "LatencyRecorder",
+    "METRICS_KIND",
+    "MetricsRegistry",
     "NetworkPool",
     "RetryPolicy",
     "RealizationRequest",
     "RealizationResponse",
     "SERVE_STREAM_WINDOW",
+    "STATS_KIND",
     "Scenario",
     "ScenarioRegistry",
     "ServiceError",
     "SocketServer",
+    "Span",
+    "Tracer",
     "default_registry",
     "error_response",
     "parse_request_line",

@@ -20,6 +20,7 @@ from array import array
 from dataclasses import dataclass, fields, replace
 from typing import Any, Dict, Mapping, Optional, Tuple
 
+from repro.ncc import wire
 from repro.ncc.config import NCCConfig, Variant
 from repro.ncc.engine import engine_names
 
@@ -282,7 +283,7 @@ class RealizationRequest:
     )
     _DEGREES_SLOT = _WIRE_KEYS.index("degrees")
 
-    def to_wire(self) -> tuple:
+    def to_wire(self, trace: Optional[tuple] = None) -> tuple:
         """Compact positional envelope for the process-drain boundary.
 
         The inline workload vector — the only request field that scales
@@ -291,6 +292,12 @@ class RealizationRequest:
         a flat positional tuple, skipping the dataclass pickle protocol.
         ``_WIRE_KEYS`` is the single source of the field order (asserted
         against the dataclass fields at import time).
+
+        A traced request ships its ``(trace_id, parent_span_id)``
+        context as an optional trailer past the fixed width
+        (:func:`repro.ncc.wire.attach_trailer`) — absent entirely when
+        tracing is off, so the untraced envelope is byte-identical to
+        the pre-tracing one.
         """
         values = [getattr(self, key) for key in self._WIRE_KEYS]
         slot = self._DEGREES_SLOT
@@ -299,24 +306,32 @@ class RealizationRequest:
                 values[slot] = array("q", values[slot])
             except OverflowError:  # absurd but valid ints: ship boxed
                 pass
-        return tuple(values)
+        out = tuple(values)
+        return wire.attach_trailer(out, trace) if trace is not None else out
 
     @classmethod
-    def from_wire(cls, wire: tuple) -> "RealizationRequest":
+    def from_wire(cls, wire_tuple: tuple) -> "RealizationRequest":
         """Rebuild a request from :meth:`to_wire` output.
 
         Trusts the sender — the parent validates and normalises before
         shipping — so the frozen-dataclass ``__init__``/``__post_init__``
         machinery is skipped entirely (a plain dict fill, like the
-        message codec's decode path).
+        message codec's decode path).  Any trace trailer is sliced off;
+        callers that want it use :meth:`wire_trace`.
         """
         self = cls.__new__(cls)
         inner = self.__dict__
-        for key, value in zip(cls._WIRE_KEYS, wire, strict=True):
+        body = wire.wire_body(wire_tuple, len(cls._WIRE_KEYS))
+        for key, value in zip(cls._WIRE_KEYS, body, strict=True):
             inner[key] = value
         if inner["degrees"] is not None:
             inner["degrees"] = tuple(inner["degrees"])
         return self
+
+    @classmethod
+    def wire_trace(cls, wire_tuple: tuple) -> Optional[tuple]:
+        """The ``(trace_id, parent_span_id)`` trailer, or ``None``."""
+        return wire.wire_trailer(wire_tuple, len(cls._WIRE_KEYS))
 
     # ---------------------------------------------------------------- #
     # JSON mapping                                                     #
@@ -449,18 +464,31 @@ class RealizationResponse:
         "cached", "elapsed_sec", "error", "error_code",
     )
 
-    def to_wire(self) -> tuple:
-        """Flat positional envelope for the process-drain return path."""
-        return tuple(getattr(self, key) for key in self._WIRE_KEYS)
+    def to_wire(self, spans: Optional[tuple] = None) -> tuple:
+        """Flat positional envelope for the process-drain return path.
+
+        A worker that recorded spans ships them flattened into columns
+        (:func:`repro.obs.trace.encode_span_columns`) as an optional
+        trailer — the response dataclass itself stays trace-free, so
+        fingerprints and caches never see tracing state.
+        """
+        out = tuple(getattr(self, key) for key in self._WIRE_KEYS)
+        return wire.attach_trailer(out, spans) if spans is not None else out
 
     @classmethod
-    def from_wire(cls, wire: tuple) -> "RealizationResponse":
+    def from_wire(cls, wire_tuple: tuple) -> "RealizationResponse":
         """Rebuild a response from :meth:`to_wire` output (trusted)."""
         self = cls.__new__(cls)
         inner = self.__dict__
-        for key, value in zip(cls._WIRE_KEYS, wire, strict=True):
+        body = wire.wire_body(wire_tuple, len(cls._WIRE_KEYS))
+        for key, value in zip(cls._WIRE_KEYS, body, strict=True):
             inner[key] = value
         return self
+
+    @classmethod
+    def wire_spans(cls, wire_tuple: tuple) -> Optional[tuple]:
+        """The worker-side span columns trailer, or ``None``."""
+        return wire.wire_trailer(wire_tuple, len(cls._WIRE_KEYS))
 
     def to_dict(self) -> Dict[str, Any]:
         out: Dict[str, Any] = {

@@ -57,11 +57,10 @@ from __future__ import annotations
 import dataclasses
 import io
 import json
-import math
 import os
 import threading
 import time
-from collections import OrderedDict, deque
+from collections import OrderedDict
 from concurrent.futures import (
     BrokenExecutor,
     CancelledError,
@@ -76,6 +75,16 @@ from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 from repro.ncc.errors import DeadlineExceeded, RoundBudgetExceeded
 from repro.ncc.network import Network
 from repro.ncc.sharded import fork_context
+from repro.obs import (
+    Histogram,
+    LatencyRecorder,
+    MetricsRegistry,
+    RoundPhaseAggregate,
+    Span,
+    Tracer,
+    decode_span_columns,
+    encode_span_columns,
+)
 from repro.service import faults
 from repro.service.api import (
     RealizationRequest,
@@ -124,6 +133,8 @@ def run_request(
     workload: Optional[Sequence[int]] = None,
     registry: ScenarioRegistry = DEFAULT_REGISTRY,
     deadline: Optional[float] = None,
+    span: Optional[Span] = None,
+    phase_histogram: Optional[Histogram] = None,
 ) -> RealizationResponse:
     """Execute one validated request on ``net`` and envelope the outcome.
 
@@ -139,7 +150,45 @@ def run_request(
     checked cooperatively at round boundaries — crossing it yields a
     typed ``DEADLINE_EXCEEDED`` response and runs that finish in time
     stay bit-identical.
+
+    ``span``/``phase_histogram`` opt into the observability layer: a
+    :class:`~repro.obs.trace.RoundPhaseAggregate` round observer is
+    installed on ``net`` for the duration of the run (and always
+    removed — pooled leases must come back observer-free), emitting one
+    aggregate ``rounds`` child span and/or per-phase histogram samples.
+    With both left ``None`` — the default — the run is untouched.
     """
+    if span is None and phase_histogram is None:
+        return _run_request(request, net, workload, registry, deadline)
+    aggregate = RoundPhaseAggregate()
+    net.set_round_observer(aggregate)
+    try:
+        response = _run_request(request, net, workload, registry, deadline)
+    finally:
+        net.set_round_observer(None)
+    if span is not None:
+        aggregate.attach(span)
+        span.tag("verdict", response.verdict)
+        if response.error_code is not None:
+            span.tag("error_code", response.error_code)
+        span.finish()
+    if phase_histogram is not None:
+        aggregate.observe(
+            lambda phase, seconds: phase_histogram.labels(phase=phase).observe(
+                seconds
+            )
+        )
+    return response
+
+
+def _run_request(
+    request: RealizationRequest,
+    net: Network,
+    workload: Optional[Sequence[int]] = None,
+    registry: ScenarioRegistry = DEFAULT_REGISTRY,
+    deadline: Optional[float] = None,
+) -> RealizationResponse:
+    """The untraced core of :func:`run_request` (same contract)."""
     started = time.perf_counter()
     try:
         vector = tuple(workload) if workload is not None else resolve_workload(
@@ -290,18 +339,35 @@ def _process_worker_run_wire(wire: tuple, deadline: Optional[float] = None) -> t
     ``time.monotonic()`` deadline — comparable across processes because
     ``CLOCK_MONOTONIC`` is system-wide on the platforms the process
     drain supports.
+
+    A traced request carries its ``(trace_id, parent_span_id)`` context
+    as a wire trailer; the worker then records its own span subtree
+    (pool lease, engine rounds) and ships it back as a trailer on the
+    response envelope, for the parent to reassemble into one tree.
+    Works identically under fork and spawn start methods: the context
+    travels in the job payload, not in inherited process state.
     """
+    trace = RealizationRequest.wire_trace(wire)
     request = RealizationRequest.from_wire(wire)
     plan = faults.active()
     if plan is not None and plan.match("wire_error", request.request_id):
         # Injected transport fault: a tuple from_wire() cannot zip — the
         # parent's decode raises and envelopes a transport failure.
         return ("\x00bad-wire",)
-    return _process_worker_run(request, deadline).to_wire()
+    if trace is None:
+        return _process_worker_run(request, deadline).to_wire()
+    span = Span.from_context("worker", trace, pid=os.getpid())
+    response = _process_worker_run(request, deadline, span=span)
+    if response.error_code is not None:
+        span.tag("error_code", response.error_code)
+    span.finish()
+    return response.to_wire(spans=encode_span_columns(span))
 
 
 def _process_worker_run(
-    request: RealizationRequest, deadline: Optional[float] = None
+    request: RealizationRequest,
+    deadline: Optional[float] = None,
+    span: Optional[Span] = None,
 ) -> RealizationResponse:
     """One request on this worker's warm state (the in-worker ``handle``)."""
     plan = faults.active()
@@ -316,6 +382,8 @@ def _process_worker_run(
     if deadline is not None and time.monotonic() >= deadline:
         # Expired while queued behind other pool jobs (or slowed by an
         # injected fault): answer without touching a network.
+        if span is not None:
+            span.tag("queued_expired", True)
         return error_response(
             request.request_id,
             request.kind,
@@ -329,11 +397,25 @@ def _process_worker_run(
         )
         n, config = request.size, request.config()
         if _WORKER_POOL is not None:
-            with _WORKER_POOL.network(n, config) as net:
-                return run_request(request, net, workload, registry, deadline)
+            if span is None:
+                with _WORKER_POOL.network(n, config) as net:
+                    return run_request(request, net, workload, registry, deadline)
+            lease_span = span.child("pool.lease", n=n)
+            net = _WORKER_POOL.lease(n, config)
+            lease_span.finish()
+            try:
+                return run_request(
+                    request, net, workload, registry, deadline,
+                    span=span.child("run"),
+                )
+            finally:
+                _WORKER_POOL.release(net)
         net = Network(n, config)
         try:
-            return run_request(request, net, workload, registry, deadline)
+            run_span = span.child("run") if span is not None else None
+            return run_request(
+                request, net, workload, registry, deadline, span=run_span
+            )
         finally:
             net.close()  # sharded engines hold worker processes
     except ServiceError as exc:
@@ -344,60 +426,6 @@ def _process_worker_run(
             request.kind,
             f"internal error: {type(exc).__name__}: {exc}",
         )
-
-
-class LatencyRecorder:
-    """Thread-safe bounded reservoir of per-request service latencies.
-
-    The serve front ends (stdio and socket) answer ``stats`` probes with
-    latency percentiles; this recorder keeps the most recent
-    ``capacity`` samples so a long-lived service reports *current*
-    latency in O(1) memory instead of growing with traffic.  ``count``/
-    ``mean`` cover the full lifetime; ``p50``/``p99`` are nearest-rank
-    percentiles over the retained window.  Samples are recorded by the
-    single-request paths (:meth:`BatchExecutor.handle` and the async
-    :meth:`BatchExecutor.submit`) — the whole-batch drains time
-    themselves.
-    """
-
-    def __init__(self, capacity: int = 4096) -> None:
-        if capacity < 1:
-            raise ValueError("capacity must be >= 1")
-        self._samples: "deque[float]" = deque(maxlen=capacity)
-        self._lock = threading.Lock()
-        self._count = 0
-        self._total = 0.0
-
-    def record(self, seconds: float) -> None:
-        with self._lock:
-            self._samples.append(seconds)
-            self._count += 1
-            self._total += seconds
-
-    @staticmethod
-    def _nearest_rank(ordered: Sequence[float], fraction: float) -> float:
-        if not ordered:
-            return 0.0
-        rank = max(0, math.ceil(fraction * len(ordered)) - 1)
-        return ordered[min(rank, len(ordered) - 1)]
-
-    def percentile(self, fraction: float) -> float:
-        """Nearest-rank percentile (seconds) over the retained window."""
-        with self._lock:
-            ordered = sorted(self._samples)
-        return self._nearest_rank(ordered, fraction)
-
-    def snapshot(self) -> Dict[str, float]:
-        """Counters + percentiles, in milliseconds, for ``stats()``."""
-        with self._lock:
-            ordered = sorted(self._samples)
-            count, total = self._count, self._total
-        return {
-            "count": count,
-            "mean_ms": round(1000.0 * total / count, 3) if count else 0.0,
-            "p50_ms": round(1000.0 * self._nearest_rank(ordered, 0.50), 3),
-            "p99_ms": round(1000.0 * self._nearest_rank(ordered, 0.99), 3),
-        }
 
 
 def _resolve_future(out: "Future", response: RealizationResponse) -> None:
@@ -504,6 +532,8 @@ class BatchExecutor:
         hang_timeout: Optional[float] = None,
         hang_grace: float = 0.1,
         watchdog_interval: float = 0.05,
+        metrics: Optional[MetricsRegistry] = None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         if mode not in EXECUTOR_MODES:
             raise ValueError(f"mode must be one of {EXECUTOR_MODES}, got {mode!r}")
@@ -568,15 +598,79 @@ class BatchExecutor:
         self._dispatch: Dict[Future, _WatchEntry] = {}
         self._watchdog_stop: Optional[threading.Event] = None
         self.latency = LatencyRecorder()
-        self.requests_handled = 0
-        self.response_cache_hits = 0
-        self.response_cache_evictions = 0
-        self.coalesced_hits = 0
-        self.worker_crashes = 0
-        self.worker_timeouts = 0
-        self.retries = 0
-        self.deadline_exceeded = 0
-        self.degraded_handled = 0
+        # The unified metrics registry is the single source of truth for
+        # the executor's counters: the attributes below ARE registry
+        # instruments (int-like Counters, so call sites that compare or
+        # serialize them see plain numbers), stats() is a view over
+        # them, and the same registry renders the Prometheus exposition
+        # for the serve `metrics` kind / --metrics-port listener.
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        # Tracing: None (default) disables span collection entirely —
+        # the request paths guard on it, so the disabled overhead is a
+        # handful of attribute checks (gated ≤5% by bench_serve's
+        # trace-overhead row).
+        self.tracer = tracer
+        _c = self.metrics.counter
+        self.requests_handled = _c(
+            "repro_requests_total", "Requests answered (all outcomes)"
+        )
+        self.requests_by_kind = _c(
+            "repro_requests_by_kind_total",
+            "Requests answered, by request kind",
+            ("kind",),
+        )
+        self.response_cache_hits = _c(
+            "repro_response_cache_hits_total", "Responses served from the LRU cache"
+        )
+        self.response_cache_evictions = _c(
+            "repro_response_cache_evictions_total", "LRU response-cache evictions"
+        )
+        self.coalesced_hits = _c(
+            "repro_coalesced_hits_total",
+            "Requests coalesced onto a concurrent identical execution",
+        )
+        self.worker_crashes = _c(
+            "repro_worker_crashes_total", "Pool workers that died mid-request"
+        )
+        self.worker_timeouts = _c(
+            "repro_worker_timeouts_total", "Workers killed by the hung-worker watchdog"
+        )
+        self.retries = _c(
+            "repro_retries_total", "Pool-break co-victim retries"
+        )
+        self.deadline_exceeded = _c(
+            "repro_deadline_exceeded_total", "Requests that crossed their deadline"
+        )
+        self.degraded_handled = _c(
+            "repro_degraded_handled_total",
+            "Requests executed in-parent while the circuit breaker was open",
+        )
+        # Satellite split of the single latency number: time spent
+        # *executing* (the realizer run, worker-side for processes) vs
+        # everything before it (queue wait, admission, dispatch).
+        self.queue_wait_hist = self.metrics.histogram(
+            "repro_request_queue_wait_seconds",
+            "Per-request time before execution started (queueing + dispatch)",
+        )
+        self.execution_hist = self.metrics.histogram(
+            "repro_request_execution_seconds",
+            "Per-request realizer execution time",
+        )
+        # Engine phase hooks feed this when tracing is on (parent-side
+        # execution; worker-side phases ship back inside spans).
+        self.engine_phase_hist = self.metrics.histogram(
+            "repro_engine_phase_seconds",
+            "Per-request engine time by round phase (traced requests only)",
+            ("phase",),
+        )
+        self.metrics.gauge(
+            "repro_response_cache_size",
+            "Entries in the LRU response cache",
+            fn=lambda: len(self._response_cache),
+        )
+        if pool is not None:
+            self.metrics.register_collector("network_pool", pool.collect_metrics)
+        self.metrics.register_collector("circuit_breaker", self._breaker_metrics)
         # The registry may be shared (DEFAULT_REGISTRY); snapshot its
         # counters so stats() excludes traffic from before this executor
         # existed.  (Concurrent traffic from *other* executors sharing
@@ -726,7 +820,7 @@ class BatchExecutor:
             if not culprits:
                 continue
             with self._cache_lock:
-                self.worker_timeouts += len(culprits)
+                self.worker_timeouts.inc(len(culprits))
             for pool in {id(p): p for p in culprits}.values():
                 self._kill_pool(pool)
 
@@ -777,6 +871,7 @@ class BatchExecutor:
         key: Optional[RealizationRequest],
         out: "Future",
         deadline: Optional[float],
+        span: Optional["Span"] = None,
     ) -> None:
         """Breaker open: run in-parent on the single degraded thread.
 
@@ -803,11 +898,14 @@ class BatchExecutor:
                     "executor closed while this request was in flight",
                 ),
                 resubmit_followers=False,
+                span=span,
             )
             return
         with self._cache_lock:
-            self.degraded_handled += 1
-        runner.submit(self._run_degraded, request, key, out, deadline)
+            self.degraded_handled.inc()
+        if span is not None:
+            span.tag("degraded", True)
+        runner.submit(self._run_degraded, request, key, out, deadline, span)
 
     def _run_degraded(
         self,
@@ -815,8 +913,91 @@ class BatchExecutor:
         key: Optional[RealizationRequest],
         out: "Future",
         deadline: Optional[float],
+        span: Optional["Span"] = None,
     ) -> None:
-        self._finish_async(request, key, out, self._execute(request, deadline))
+        self._finish_async(
+            request,
+            key,
+            out,
+            self._execute(request, deadline, span=span),
+            span=span,
+        )
+
+    # ---------------------------------------------------------------- #
+    # Observability plumbing                                           #
+    # ---------------------------------------------------------------- #
+
+    def _start_span(self, request: RealizationRequest) -> Optional[Span]:
+        """Open the admission root span, or ``None`` with tracing off."""
+        tracer = self.tracer
+        if tracer is None:
+            return None
+        return tracer.start(
+            "request",
+            request_id=request.request_id,
+            kind=request.kind,
+            mode=self.mode,
+            pid=os.getpid(),
+        )
+
+    def _finish_span(
+        self, span: Span, response: Optional[RealizationResponse]
+    ) -> None:
+        """Tag the outcome on the root span and hand it to the tracer."""
+        if response is not None:
+            span.tag("verdict", response.verdict)
+            if response.cached:
+                span.tag("cached", True)
+            if response.error_code is not None:
+                span.tag("error_code", response.error_code)
+        self.tracer.collect(span)
+
+    def _observe_stages(
+        self, total: float, response: Optional[RealizationResponse]
+    ) -> None:
+        """Split one request's wall time into queue-wait vs execution.
+
+        ``elapsed_sec`` is measured inside the run (worker-side for the
+        process drain — the monotonic clock is system-wide), so
+        ``total - elapsed`` is the honest everything-before-execution
+        remainder: admission, coalescing waits, pool queueing, IPC.
+        """
+        execution = 0.0
+        if response is not None and response.elapsed_sec:
+            execution = min(max(float(response.elapsed_sec), 0.0), total)
+        self.execution_hist.observe(execution)
+        self.queue_wait_hist.observe(max(0.0, total - execution))
+
+    def _breaker_metrics(self):
+        """Registry collector: the circuit breaker's counters at scrape."""
+        snap = self.breaker.snapshot()
+        state = {"closed": 0, "half_open": 1, "open": 2}.get(str(snap["state"]), -1)
+        return [
+            (
+                "repro_breaker_state",
+                "gauge",
+                "Circuit breaker state (0=closed, 1=half-open, 2=open)",
+                [("repro_breaker_state", (), float(state))],
+            ),
+            (
+                "repro_breaker_opens_total",
+                "counter",
+                "Times the circuit breaker opened",
+                [("repro_breaker_opens_total", (), float(snap["opens"]))],
+            ),
+            (
+                "repro_breaker_failures_total",
+                "counter",
+                "Pool failures recorded by the circuit breaker",
+                [
+                    (
+                        "repro_breaker_failures_total",
+                        (),
+                        float(snap["failures_total"]),
+                    )
+                ],
+            ),
+        ]
 
     # ---------------------------------------------------------------- #
     # Response cache (LRU) and coalescing                              #
@@ -841,11 +1022,12 @@ class BatchExecutor:
             if hit is None:
                 return None
             self._response_cache.move_to_end(key)
-            self.requests_handled += 1
+            self.requests_handled.inc()
+            self.requests_by_kind.labels(kind=request.kind).inc()
             if coalesced:
-                self.coalesced_hits += 1
+                self.coalesced_hits.inc()
             else:
-                self.response_cache_hits += 1
+                self.response_cache_hits.inc()
         return dataclasses.replace(
             hit,
             request_id=request.request_id,
@@ -862,19 +1044,22 @@ class BatchExecutor:
             self._response_cache[key] = response
             while len(self._response_cache) > self.max_cached_responses:
                 self._response_cache.popitem(last=False)
-                self.response_cache_evictions += 1
+                self.response_cache_evictions.inc()
 
     def _note_code_locked(self, response: RealizationResponse) -> None:
         """Counter bookkeeping for typed failures (cache lock held)."""
         if response.error_code == "DEADLINE_EXCEEDED":
-            self.deadline_exceeded += 1
+            self.deadline_exceeded.inc()
 
     # ---------------------------------------------------------------- #
     # Single requests                                                  #
     # ---------------------------------------------------------------- #
 
     def _execute(
-        self, request: RealizationRequest, deadline: Optional[float] = None
+        self,
+        request: RealizationRequest,
+        deadline: Optional[float] = None,
+        span: Optional[Span] = None,
     ) -> RealizationResponse:
         """The stateless run: resolve the workload, lease a network, run.
 
@@ -883,6 +1068,10 @@ class BatchExecutor:
         seconds; an already-expired one short-circuits to a typed
         ``DEADLINE_EXCEEDED`` without touching a network (the
         expired-before-dispatch path every drain mode shares).
+
+        ``span`` (tracing enabled) gains ``pool.lease`` and ``run``
+        children — the in-parent mirror of the worker-side subtree —
+        and engine phase timings feed the registry histogram.
         """
         try:
             if deadline is not None and time.monotonic() >= deadline:
@@ -897,13 +1086,32 @@ class BatchExecutor:
             )
             n, config = request.size, request.config()
             if self.pool is not None:
-                with self.pool.network(n, config) as net:
+                if span is None:
+                    with self.pool.network(n, config) as net:
+                        return run_request(
+                            request, net, workload, self.registry, deadline
+                        )
+                lease_span = span.child("pool.lease", n=n)
+                net = self.pool.lease(n, config)
+                lease_span.finish()
+                try:
                     return run_request(
-                        request, net, workload, self.registry, deadline
+                        request, net, workload, self.registry, deadline,
+                        span=span.child("run"),
+                        phase_histogram=self.engine_phase_hist,
                     )
+                finally:
+                    self.pool.release(net)
             net = Network(n, config)
             try:
-                return run_request(request, net, workload, self.registry, deadline)
+                run_span = span.child("run") if span is not None else None
+                return run_request(
+                    request, net, workload, self.registry, deadline,
+                    span=run_span,
+                    phase_histogram=(
+                        self.engine_phase_hist if span is not None else None
+                    ),
+                )
             finally:
                 net.close()  # sharded engines hold worker processes
         except ServiceError as exc:
@@ -929,18 +1137,25 @@ class BatchExecutor:
         started = time.perf_counter()
         key: Optional[RealizationRequest] = None
         leader = False
+        span = self._start_span(request)
+        response: Optional[RealizationResponse] = None
         try:
             try:
                 request.validate()
             except ServiceError as exc:
                 with self._cache_lock:
-                    self.requests_handled += 1
-                return error_response(request.request_id, request.kind, str(exc))
+                    self.requests_handled.inc()
+                    self.requests_by_kind.labels(kind=request.kind).inc()
+                response = error_response(
+                    request.request_id, request.kind, str(exc)
+                )
+                return response
             deadline = self._deadline_for(request)
             if self.cache_responses:
                 key = request.cache_key()
                 hit = self._cache_lookup(key, request)
                 if hit is not None:
+                    response = hit
                     return hit
                 # Single-flight: exactly one thread computes a key;
                 # identical concurrent requests wait and then read
@@ -957,10 +1172,12 @@ class BatchExecutor:
                     flight.wait()
                     hit = self._cache_lookup(key, request, coalesced=True)
                     if hit is not None:
+                        response = hit
                         return hit
-            response = self._execute(request, deadline)
+            response = self._execute(request, deadline, span=span)
             with self._cache_lock:
-                self.requests_handled += 1
+                self.requests_handled.inc()
+                self.requests_by_kind.labels(kind=request.kind).inc()
                 self._note_code_locked(response)
                 # Cache successful computations only: an ERROR may reflect
                 # a transient environment failure (e.g. memory pressure),
@@ -975,7 +1192,11 @@ class BatchExecutor:
                     event = self._in_flight.pop(key, None)
                 if event is not None:
                     event.set()
-            self.latency.record(time.perf_counter() - started)
+            total = time.perf_counter() - started
+            self.latency.record(total)
+            self._observe_stages(total, response)
+            if span is not None:
+                self._finish_span(span, response)
 
     def handle_dict(self, payload: Mapping[str, Any]) -> RealizationResponse:
         """Parse + handle one JSON-style request dict."""
@@ -1023,15 +1244,28 @@ class BatchExecutor:
         time themselves (the socket server stamps at admission); by
         default the request's ``deadline_ms`` clock starts here."""
         started = time.perf_counter()
-        out.add_done_callback(
-            lambda _f: self.latency.record(time.perf_counter() - started)
-        )
+        span = self._start_span(request)
+
+        def _record(f: "Future") -> None:
+            total = time.perf_counter() - started
+            self.latency.record(total)
+            try:  # CancelledError is a BaseException since 3.8
+                response = f.result(timeout=0)
+            except BaseException:
+                response = None
+            self._observe_stages(total, response)
+
+        out.add_done_callback(_record)
         try:
             request.validate()
         except ServiceError as exc:
             with self._cache_lock:
-                self.requests_handled += 1
-            out.set_result(error_response(request.request_id, request.kind, str(exc)))
+                self.requests_handled.inc()
+                self.requests_by_kind.labels(kind=request.kind).inc()
+            response = error_response(request.request_id, request.kind, str(exc))
+            if span is not None:
+                self._finish_span(span, response)
+            out.set_result(response)
             return out
         if deadline is None:
             deadline = self._deadline_for(request)
@@ -1039,15 +1273,24 @@ class BatchExecutor:
         if key is not None:
             hit = self._cache_lookup(key, request)
             if hit is not None:
+                if span is not None:
+                    self._finish_span(span, hit)
                 out.set_result(hit)
                 return out
             with self._cache_lock:
                 followers = self._in_flight_async.get(key)
                 if followers is not None:
                     followers.append((request, out))
+                    if span is not None:
+                        # Followers ride their leader's execution; their
+                        # own span covers admission only.
+                        span.tag("coalesced", True)
+                        self._finish_span(span, None)
                     return out
                 self._in_flight_async[key] = []
-        self._submit_async(request, key, out, attempt=1, deadline=deadline)
+        self._submit_async(
+            request, key, out, attempt=1, deadline=deadline, span=span
+        )
         return out
 
     def _submit_async(
@@ -1057,12 +1300,15 @@ class BatchExecutor:
         out: "Future",
         attempt: int = 1,
         deadline: Optional[float] = None,
+        span: Optional[Span] = None,
     ) -> None:
         """Ship one leader job to the worker pool (wire-encoded).
 
         ``attempt`` is 1-based; pool breaks resubmit with ``attempt+1``
         until ``retry_policy.max_attempts``, pausing the policy's
-        backoff between attempts.
+        backoff between attempts.  With tracing on, ``span`` rides
+        along: its context ships in the wire envelope so the worker's
+        subtree comes back attached to the response.
         """
         if deadline is None and request.deadline_ms is not None:
             # Follower resubmissions arrive without their leader's
@@ -1079,10 +1325,11 @@ class BatchExecutor:
                     "wall-clock deadline expired before dispatch",
                     code="DEADLINE_EXCEEDED",
                 ),
+                span=span,
             )
             return
         if self.breaker is not None and not self.breaker.allow():
-            self._dispatch_degraded(request, key, out, deadline)
+            self._dispatch_degraded(request, key, out, deadline, span)
             return
         pool = None
         try:
@@ -1093,7 +1340,11 @@ class BatchExecutor:
             # shut down.
             pool = self._ensure_process_pool()
             future = pool.submit(
-                _process_worker_run_wire, request.to_wire(), deadline
+                _process_worker_run_wire,
+                request.to_wire(
+                    trace=span.context() if span is not None else None
+                ),
+                deadline,
             )
         except _ExecutorClosed:
             self._finish_async(
@@ -1106,6 +1357,7 @@ class BatchExecutor:
                     "executor closed while this request was in flight",
                 ),
                 resubmit_followers=False,
+                span=span,
             )
             return
         except BrokenExecutor:
@@ -1117,9 +1369,13 @@ class BatchExecutor:
             # replacement another thread already built.
             self._note_pool_break(pool)
             with self._cache_lock:  # same accounting as the other paths
-                self.worker_crashes += 1
+                self.worker_crashes.inc()
+            if span is not None:
+                span.child(
+                    "crash_recovery", attempt=attempt, timed_out=False
+                ).finish()
             if attempt < self.retry_policy.max_attempts:
-                self._retry_async(request, key, out, attempt + 1, deadline)
+                self._retry_async(request, key, out, attempt + 1, deadline, span)
             else:
                 self._finish_async(
                     request,
@@ -1131,6 +1387,7 @@ class BatchExecutor:
                         "worker process died while executing this request",
                         code="WORKER_CRASHED",
                     ),
+                    span=span,
                 )
             return
         except Exception as exc:
@@ -1143,6 +1400,7 @@ class BatchExecutor:
                     request.kind,
                     f"process drain failure: {type(exc).__name__}: {exc}",
                 ),
+                span=span,
             )
             return
         # Watch before wiring the completion callback: the callback's
@@ -1151,7 +1409,7 @@ class BatchExecutor:
         self._watch(future, pool, deadline)
         future.add_done_callback(
             lambda done: self._async_done(
-                done, request, key, out, attempt, pool, deadline
+                done, request, key, out, attempt, pool, deadline, span
             )
         )
 
@@ -1162,30 +1420,36 @@ class BatchExecutor:
         out: "Future",
         attempt: int,
         deadline: Optional[float],
+        span: Optional[Span] = None,
     ) -> None:
         """Resubmit after the policy's backoff (timer thread, so pool
         callback threads never sleep)."""
         with self._cache_lock:
-            self.retries += 1
+            self.retries.inc()
         delay = self.retry_policy.delay_sec(attempt)
         if delay <= 0:
-            self._submit_async(request, key, out, attempt, deadline)
+            self._submit_async(request, key, out, attempt, deadline, span)
             return
         timer = threading.Timer(
             delay,
             self._submit_async,
-            args=(request, key, out, attempt, deadline),
+            args=(request, key, out, attempt, deadline, span),
         )
         timer.daemon = True
         timer.start()
 
     def _async_done(
-        self, future, request, key, out, attempt, pool, deadline
+        self, future, request, key, out, attempt, pool, deadline, span=None
     ) -> None:
         """Completion hook (runs on the pool's callback thread)."""
         timed_out = self._watch_pop(future)
         try:
-            response = RealizationResponse.from_wire(future.result())
+            wire = future.result()
+            response = RealizationResponse.from_wire(wire)
+            if span is not None:
+                columns = RealizationResponse.wire_spans(wire)
+                if columns is not None:
+                    span.adopt(decode_span_columns(columns))
             if self.breaker is not None:
                 self.breaker.record_success()
         except (BrokenExecutor, CancelledError):
@@ -1213,6 +1477,7 @@ class BatchExecutor:
                         "executor closed while this request was in flight",
                     ),
                     resubmit_followers=False,
+                    span=span,
                 )
                 return
             # Only flag the pool this future actually ran on (see
@@ -1221,6 +1486,10 @@ class BatchExecutor:
             # replacement pool (cancelling innocent retries into
             # spurious WORKER_CRASHED responses).
             self._note_pool_break(pool)
+            if span is not None:
+                span.child(
+                    "crash_recovery", attempt=attempt, timed_out=timed_out
+                ).finish()
             if timed_out:
                 # The watchdog killed this job's worker: the culprit is
                 # *this* request — no retry (it would hang again), a
@@ -1235,9 +1504,11 @@ class BatchExecutor:
                 )
             else:
                 with self._cache_lock:
-                    self.worker_crashes += 1
+                    self.worker_crashes.inc()
                 if attempt < self.retry_policy.max_attempts:
-                    self._retry_async(request, key, out, attempt + 1, deadline)
+                    self._retry_async(
+                        request, key, out, attempt + 1, deadline, span
+                    )
                     return
                 response = error_response(
                     request.request_id,
@@ -1251,10 +1522,16 @@ class BatchExecutor:
                 request.kind,
                 f"process drain failure: {type(exc).__name__}: {exc}",
             )
-        self._finish_async(request, key, out, response)
+        self._finish_async(request, key, out, response, span=span)
 
     def _finish_async(
-        self, request, key, out, response, resubmit_followers: bool = True
+        self,
+        request,
+        key,
+        out,
+        response,
+        resubmit_followers: bool = True,
+        span: Optional[Span] = None,
     ) -> None:
         """Resolve the leader, fan out to followers, maintain caches.
 
@@ -1265,12 +1542,17 @@ class BatchExecutor:
         outside the lock.
         """
         followers: List[Tuple[RealizationRequest, Future]] = []
+        if span is not None:
+            self._finish_span(span, response)
         if response.verdict != "ERROR":
             with self._cache_lock:
                 if key is not None:
                     followers = self._in_flight_async.pop(key, [])
-                self.requests_handled += 1 + len(followers)
-                self.coalesced_hits += len(followers)
+                self.requests_handled.inc(1 + len(followers))
+                self.requests_by_kind.labels(kind=request.kind).inc(
+                    1 + len(followers)
+                )
+                self.coalesced_hits.inc(len(followers))
                 if key is not None:
                     self._cache_store_locked(key, response)
             _resolve_future(
@@ -1294,9 +1576,9 @@ class BatchExecutor:
                 # as handled — stats must agree with the number of
                 # responses actually emitted; resubmitted followers are
                 # counted by their own completions instead.
-                self.requests_handled += 1 + (
-                    len(followers) if not resubmit_followers else 0
-                )
+                emitted = 1 + (len(followers) if not resubmit_followers else 0)
+                self.requests_handled.inc(emitted)
+                self.requests_by_kind.labels(kind=request.kind).inc(emitted)
                 self._note_code_locked(response)
             _resolve_future(
                 out, dataclasses.replace(response, request_id=request.request_id)
@@ -1363,7 +1645,8 @@ class BatchExecutor:
                     request.request_id, request.kind, str(exc)
                 )
                 with self._cache_lock:
-                    self.requests_handled += 1
+                    self.requests_handled.inc()
+                    self.requests_by_kind.labels(kind=request.kind).inc()
                 continue
             key = request.cache_key() if self.cache_responses else None
             if key is not None:
@@ -1392,14 +1675,18 @@ class BatchExecutor:
                 # is never cached, so coalesced duplicates get their own
                 # real attempt instead of a copy of the failure.
                 with self._cache_lock:
-                    self.requests_handled += 1
+                    self.requests_handled.inc()
+                    self.requests_by_kind.labels(kind=request.kind).inc()
                     self._note_code_locked(response)
                 for i in indices[1:]:
                     retries.append(([i], batch[i]))
                 continue
             with self._cache_lock:
-                self.requests_handled += len(indices)
-                self.coalesced_hits += len(indices) - 1
+                self.requests_handled.inc(len(indices))
+                self.requests_by_kind.labels(kind=request.kind).inc(
+                    len(indices)
+                )
+                self.coalesced_hits.inc(len(indices) - 1)
                 if key is not None:
                     self._cache_store_locked(key, response)
             for i in indices[1:]:
@@ -1414,7 +1701,8 @@ class BatchExecutor:
                 retries, self._submit_process_jobs(retries)
             ):
                 with self._cache_lock:
-                    self.requests_handled += 1
+                    self.requests_handled.inc()
+                    self.requests_by_kind.labels(kind=request.kind).inc()
                     if self.cache_responses and response.verdict != "ERROR":
                         self._cache_store_locked(request.cache_key(), response)
                     self._note_code_locked(response)
@@ -1438,15 +1726,32 @@ class BatchExecutor:
         if not jobs:
             return []
         deadlines = [self._deadline_for(request) for _, request in jobs]
+        spans = [self._start_span(request) for _, request in jobs]
+        outcomes = self._run_process_jobs(jobs, deadlines, spans)
+        for span, outcome in zip(spans, outcomes):
+            if span is not None:
+                self._finish_span(span, outcome)
+        return outcomes
+
+    def _run_process_jobs(
+        self,
+        jobs: List[Tuple[List[int], RealizationRequest]],
+        deadlines: List[Optional[float]],
+        spans: List[Optional[Span]],
+    ) -> List[RealizationResponse]:
+        """The drain behind :meth:`_submit_process_jobs` (spans already
+        opened by the caller, which finishes them with the outcomes)."""
         if self.breaker is not None and not self.breaker.allow():
             # Breaker open: run the whole batch in-parent.  _execute is
             # the same deterministic path the workers run, so responses
             # stay field-identical — just slower (sequential).
             with self._cache_lock:
-                self.degraded_handled += len(jobs)
+                self.degraded_handled.inc(len(jobs))
             return [
-                self._execute(request, deadline)
-                for (_, request), deadline in zip(jobs, deadlines)
+                self._execute(request, deadline, span=span)
+                for (_, request), deadline, span in zip(
+                    jobs, deadlines, spans
+                )
             ]
         try:
             pool = self._ensure_process_pool()
@@ -1460,12 +1765,16 @@ class BatchExecutor:
                 for _, request in jobs
             ]
         futures: List[Optional[Future]] = []
-        for (_, request), deadline in zip(jobs, deadlines):
+        for (_, request), deadline, span in zip(jobs, deadlines, spans):
             if deadline is not None and time.monotonic() >= deadline:
                 futures.append(None)  # expired before dispatch
                 continue
             future = pool.submit(
-                _process_worker_run_wire, request.to_wire(), deadline
+                _process_worker_run_wire,
+                request.to_wire(
+                    trace=span.context() if span is not None else None
+                ),
+                deadline,
             )
             self._watch(future, pool, deadline)
             futures.append(future)
@@ -1482,7 +1791,12 @@ class BatchExecutor:
                 )
                 continue
             try:
-                outcomes[j] = RealizationResponse.from_wire(future.result())
+                wire = future.result()
+                outcomes[j] = RealizationResponse.from_wire(wire)
+                if spans[j] is not None:
+                    columns = RealizationResponse.wire_spans(wire)
+                    if columns is not None:
+                        spans[j].adopt(decode_span_columns(columns))
                 self._watch_pop(future)
                 if self.breaker is not None:
                     self.breaker.record_success()
@@ -1491,6 +1805,10 @@ class BatchExecutor:
                 # Pool-identity guard (see _note_pool_break): never flag
                 # a replacement pool another thread already built.
                 self._note_pool_break(pool)
+                if spans[j] is not None:
+                    spans[j].child(
+                        "crash_recovery", attempt=1, timed_out=timed_out
+                    ).finish()
                 if timed_out:
                     # Watchdog kill: this job is the culprit — typed
                     # timeout, no retry (it would hang again).
@@ -1512,24 +1830,31 @@ class BatchExecutor:
                 )
         if retry:
             with self._cache_lock:
-                self.worker_crashes += 1
+                self.worker_crashes.inc()
         for j in retry:
-            outcomes[j] = self._retry_process_job(jobs[j][1], deadlines[j])
+            outcomes[j] = self._retry_process_job(
+                jobs[j][1], deadlines[j], spans[j]
+            )
         return outcomes  # type: ignore[return-value]
 
     def _retry_process_job(
-        self, request: RealizationRequest, deadline: Optional[float]
+        self,
+        request: RealizationRequest,
+        deadline: Optional[float],
+        span: Optional[Span] = None,
     ) -> RealizationResponse:
         """Serial crash recovery for one batch job, under the policy.
 
         Attempts 2..max_attempts on fresh pools with the policy's
         backoff between them; a deterministic crasher exhausts the
         attempts and earns the typed ``WORKER_CRASHED``, a watchdog
-        victim stops early with ``WORKER_TIMEOUT``.
+        victim stops early with ``WORKER_TIMEOUT``.  With tracing on,
+        each attempt is a ``crash_recovery`` child of ``span`` and the
+        retried worker's subtree lands under that attempt's span.
         """
         for attempt in range(2, self.retry_policy.max_attempts + 1):
             with self._cache_lock:
-                self.retries += 1
+                self.retries.inc()
             delay = self.retry_policy.delay_sec(attempt)
             if delay > 0:
                 time.sleep(delay)
@@ -1548,12 +1873,29 @@ class BatchExecutor:
                     request.kind,
                     "executor closed while this request was in flight",
                 )
+            attempt_span = (
+                span.child("crash_recovery", attempt=attempt)
+                if span is not None
+                else None
+            )
             future = pool.submit(
-                _process_worker_run_wire, request.to_wire(), deadline
+                _process_worker_run_wire,
+                request.to_wire(
+                    trace=attempt_span.context()
+                    if attempt_span is not None
+                    else None
+                ),
+                deadline,
             )
             self._watch(future, pool, deadline)
             try:
-                response = RealizationResponse.from_wire(future.result())
+                wire = future.result()
+                response = RealizationResponse.from_wire(wire)
+                if attempt_span is not None:
+                    columns = RealizationResponse.wire_spans(wire)
+                    if columns is not None:
+                        attempt_span.adopt(decode_span_columns(columns))
+                    attempt_span.finish(timed_out=False)
                 self._watch_pop(future)
                 if self.breaker is not None:
                     self.breaker.record_success()
@@ -1561,6 +1903,8 @@ class BatchExecutor:
             except BrokenExecutor:
                 timed_out = self._watch_pop(future)
                 self._note_pool_break(pool)
+                if attempt_span is not None:
+                    attempt_span.finish(timed_out=timed_out)
                 if timed_out:
                     return error_response(
                         request.request_id,
@@ -1570,9 +1914,11 @@ class BatchExecutor:
                         code="WORKER_TIMEOUT",
                     )
                 with self._cache_lock:
-                    self.worker_crashes += 1
+                    self.worker_crashes.inc()
             except Exception as exc:
                 self._watch_pop(future)
+                if attempt_span is not None:
+                    attempt_span.finish()
                 return error_response(
                     request.request_id,
                     request.kind,
@@ -1599,20 +1945,24 @@ class BatchExecutor:
         return self._live_stats()
 
     def _live_stats(self) -> Dict[str, Any]:
+        # The counters live in the metrics registry now; ``.value``
+        # yields the plain ints this dict has always carried (the serve
+        # front ends json.dumps it verbatim).
         out: Dict[str, Any] = {
             "mode": self.mode,
             "workers": self.workers,
             "closed": False,
-            "requests_handled": self.requests_handled,
-            "response_cache_hits": self.response_cache_hits,
-            "response_cache_evictions": self.response_cache_evictions,
+            "requests_handled": self.requests_handled.value,
+            "requests_by_kind": self.requests_by_kind.as_dict(),
+            "response_cache_hits": self.response_cache_hits.value,
+            "response_cache_evictions": self.response_cache_evictions.value,
             "response_cache_size": len(self._response_cache),
-            "coalesced_hits": self.coalesced_hits,
-            "worker_crashes": self.worker_crashes,
-            "worker_timeouts": self.worker_timeouts,
-            "retries": self.retries,
-            "deadline_exceeded": self.deadline_exceeded,
-            "degraded_handled": self.degraded_handled,
+            "coalesced_hits": self.coalesced_hits.value,
+            "worker_crashes": self.worker_crashes.value,
+            "worker_timeouts": self.worker_timeouts.value,
+            "retries": self.retries.value,
+            "deadline_exceeded": self.deadline_exceeded.value,
+            "degraded_handled": self.degraded_handled.value,
             "breaker": self.breaker.snapshot()
             if self.breaker is not None
             else None,
@@ -1624,6 +1974,10 @@ class BatchExecutor:
                 self.registry.cache_evictions - self._registry_evictions_base
             ),
             "latency": self.latency.snapshot(),
+            "latency_stages": {
+                "queue_wait": self.queue_wait_hist.snapshot(),
+                "execution": self.execution_hist.snapshot(),
+            },
         }
         if self.pool is not None:
             out["pool"] = self.pool.stats()

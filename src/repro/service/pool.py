@@ -179,6 +179,34 @@ class NetworkPool:
                 "keys": len(self._idle),
             }
 
+    def collect_metrics(self):
+        """Registry collector: the pool's counters as Prometheus
+        families (``MetricsRegistry.register_collector`` callback —
+        the pool keeps its own lock, so samples are read at scrape
+        time instead of mirrored into registry instruments)."""
+        s = self.stats()
+        counters = (
+            ("repro_pool_leases_total", "Network leases requested"),
+            ("repro_pool_hits_total", "Leases served from the warm pool"),
+            ("repro_pool_constructions_total", "Cold network constructions"),
+            ("repro_pool_releases_total", "Networks released back"),
+            ("repro_pool_discards_total", "Released networks discarded"),
+        )
+        keys = ("leases", "pool_hits", "constructions", "releases", "discards")
+        out = [
+            (name, "counter", help, [(name, (), float(s[key]))])
+            for (name, help), key in zip(counters, keys)
+        ]
+        out.append(
+            (
+                "repro_pool_idle",
+                "gauge",
+                "Idle warm networks parked in the pool",
+                [("repro_pool_idle", (), float(s["idle"]))],
+            )
+        )
+        return out
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         s = self.stats()
         return (

@@ -43,6 +43,7 @@ import time
 from concurrent.futures import Future, ThreadPoolExecutor
 from typing import Any, Callable, Dict, Optional, Set, Tuple
 
+from repro.obs import PROMETHEUS_CONTENT_TYPE
 from repro.service import faults
 from repro.service.api import RealizationResponse, ServiceError, error_response
 from repro.service.executor import (
@@ -54,6 +55,7 @@ from repro.service.pool import NetworkPool
 
 __all__ = [
     "ADMISSION_REJECTED",
+    "METRICS_KIND",
     "STATS_KIND",
     "SocketServer",
     "serve_socket",
@@ -80,6 +82,13 @@ ADMISSION_REJECTED = "ADMISSION_REJECTED"
 #: deliberately absent from ``api.KINDS`` so the stdio path still
 #: rejects it as unknown rather than half-supporting it).
 STATS_KIND = "stats"
+
+#: Request ``kind`` answered inline with the Prometheus text exposition
+#: of the executor's metrics registry (same carve-out as ``stats``).
+#: The envelope wraps the exposition: ``{"kind": "metrics",
+#: "verdict": "METRICS", "content_type": ..., "text": ...}`` — scrape
+#: bridges unwrap ``text`` verbatim.
+METRICS_KIND = "metrics"
 
 #: Sentinel closing a connection's emit FIFO.
 _EOF = object()
@@ -146,6 +155,7 @@ class SocketServer:
         self.errors = 0  # of those, verdict == "ERROR"
         self.rejected = 0  # admission rejections (counted in errors too)
         self.connections_total = 0
+        self.started_at = time.monotonic()  # re-stamped by start()
         self._inflight = 0  # admitted requests whose future is not done
         self._connections: Set[_Connection] = set()
         self._conn_tasks: "Set[asyncio.Task]" = set()
@@ -164,6 +174,14 @@ class SocketServer:
         ephemeral) so callers can discover the real address."""
         self._loop = asyncio.get_running_loop()
         self._done = asyncio.Event()
+        self.started_at = time.monotonic()
+        # The server's own admission/emission counters join the
+        # executor's registry as a collector, so one scrape (`metrics`
+        # kind or --metrics-port) sees the whole serve stack.  Test
+        # stubs standing in for the executor may carry no registry.
+        registry = getattr(self.executor, "metrics", None)
+        if registry is not None:
+            registry.register_collector("server", self._server_metrics)
         if self.executor.mode != "processes":
             # handle() blocks — it must never run on the event loop.  A
             # sequential executor keeps its semantics behind exactly one
@@ -312,6 +330,8 @@ class SocketServer:
             return error_response("", "?", f"bad JSON: {exc}")
         if isinstance(payload, dict) and payload.get("kind") == STATS_KIND:
             return self._stats_envelope(payload)
+        if isinstance(payload, dict) and payload.get("kind") == METRICS_KIND:
+            return self._metrics_envelope(payload)
         parsed = parse_request_payload(payload)
         if isinstance(parsed, RealizationResponse):
             return parsed  # parse error: already an ERROR envelope
@@ -446,8 +466,49 @@ class SocketServer:
                 "errors": self.errors,
                 "rejected": self.rejected,
                 "draining": self._draining,
+                "uptime_s": round(time.monotonic() - self.started_at, 3),
             },
         }
+
+    def _metrics_envelope(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        """The ``kind="metrics"`` response: the registry's Prometheus
+        text exposition, wrapped in a JSONL envelope (the socket speaks
+        line-delimited JSON; an HTTP scrape surface is the CLI's
+        ``--metrics-port``).  Answered inline, like ``stats``."""
+        request_id = payload.get("request_id", "")
+        registry = getattr(self.executor, "metrics", None)
+        return {
+            "request_id": str(request_id) if request_id is not None else "",
+            "kind": METRICS_KIND,
+            "ok": True,
+            "verdict": "METRICS",
+            "content_type": PROMETHEUS_CONTENT_TYPE,
+            "text": registry.render() if registry is not None else "",
+        }
+
+    def _server_metrics(self):
+        """Registry collector: the server's admission counters."""
+        series = (
+            ("repro_server_handled_total", "counter",
+             "Responses emitted across all connections", float(self.handled)),
+            ("repro_server_errors_total", "counter",
+             "Emitted responses with verdict=ERROR", float(self.errors)),
+            ("repro_server_rejected_total", "counter",
+             "Requests refused by admission control", float(self.rejected)),
+            ("repro_server_connections_total", "counter",
+             "Connections accepted since start", float(self.connections_total)),
+            ("repro_server_inflight", "gauge",
+             "Admitted requests not yet answered", float(self._inflight)),
+            ("repro_server_connections", "gauge",
+             "Currently open connections", float(len(self._connections))),
+            ("repro_server_uptime_seconds", "gauge",
+             "Seconds since the server started",
+             time.monotonic() - self.started_at),
+        )
+        return [
+            (name, kind, help, [(name, (), value)])
+            for name, kind, help, value in series
+        ]
 
 
 def serve_socket(

@@ -1,0 +1,578 @@
+"""The observability layer: tracing, metrics registry, exporters.
+
+Covers :mod:`repro.obs` in isolation (span trees, the columnar span
+codec, the int-like registry counters, Prometheus text exposition,
+Chrome/JSONL trace export, the scrape HTTP listener) and its
+integration with the serve stack: root spans opened at admission in
+every drain mode, trace context shipped over the wire to pool workers
+under both fork and spawn start methods, worker subtrees reassembled in
+the parent, chaos paths (crash / watchdog timeout / deadline) tagged
+with their typed error codes, and the executor's ``stats()`` keys
+staying a plain-int view over the registry instruments.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import io
+import json
+import multiprocessing
+import urllib.request
+from concurrent.futures import ProcessPoolExecutor
+
+import pytest
+
+from repro.ncc import wire as wire_mod
+from repro.ncc.network import Network
+from repro.obs import (
+    Counter,
+    LatencyRecorder,
+    MetricsRegistry,
+    RoundPhaseAggregate,
+    Span,
+    Tracer,
+    chrome_trace,
+    decode_span_columns,
+    encode_span_columns,
+    span_to_dict,
+    start_metrics_http,
+    write_trace_jsonl,
+)
+from repro.obs.trace import MAX_CHILDREN
+from repro.service import (
+    BatchExecutor,
+    FaultPlan,
+    FaultRule,
+    NetworkPool,
+    RealizationRequest,
+    SocketServer,
+    faults,
+)
+from repro.service.executor import (
+    _process_worker_init,
+    _process_worker_run_wire,
+)
+
+HAS_SPAWN = "spawn" in multiprocessing.get_all_start_methods()
+
+
+def req(kind="degree_implicit", scenario="regular", n=16, seed=0, **kw):
+    return RealizationRequest(kind=kind, scenario=scenario, n=n, seed=seed, **kw)
+
+
+def run(coro, timeout=120):
+    return asyncio.run(asyncio.wait_for(coro, timeout=timeout))
+
+
+# ---------------------------------------------------------------------- #
+# Metrics registry                                                       #
+# ---------------------------------------------------------------------- #
+
+
+class TestMetrics:
+    def test_counter_is_int_like(self):
+        c = Counter("x_total", "")
+        assert c == 0 and not c
+        c.inc()
+        c.inc(2)
+        assert c == 3 and c > 2 and c <= 3 and int(c) == 3 and c
+        with pytest.raises(ValueError):
+            c.inc(-1)
+        # += must fail loudly: counters are not silently rebindable ints.
+        with pytest.raises(TypeError):
+            c += 1
+
+    def test_labeled_counter_as_dict_and_total(self):
+        reg = MetricsRegistry()
+        c = reg.counter("req_total", "requests", ("kind",))
+        c.labels(kind="tree").inc()
+        c.labels(kind="tree").inc()
+        c.labels(kind="approx").inc()
+        assert c.as_dict() == {"tree": 2, "approx": 1}
+        assert c.value == 3
+        with pytest.raises(ValueError):
+            c.inc()  # labeled family needs .labels()
+        with pytest.raises(ValueError):
+            c.labels(nope=1)
+
+    def test_registry_idempotent_by_name_and_type_checked(self):
+        reg = MetricsRegistry()
+        a = reg.counter("c_total", "")
+        assert reg.counter("c_total", "") is a
+        with pytest.raises(ValueError):
+            reg.gauge("c_total", "")
+
+    def test_gauge_callback_read_at_scrape(self):
+        reg = MetricsRegistry()
+        box = {"v": 1}
+        reg.gauge("depth", "queue depth", fn=lambda: box["v"])
+        assert "depth 1" in reg.render()
+        box["v"] = 7
+        assert "depth 7" in reg.render()
+
+    def test_histogram_exposition_and_snapshot(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat_seconds", "latency", buckets=(0.1, 1.0))
+        for v in (0.05, 0.5, 5.0):
+            h.observe(v)
+        text = reg.render()
+        assert 'lat_seconds_bucket{le="0.1"} 1' in text
+        assert 'lat_seconds_bucket{le="1"} 2' in text
+        assert 'lat_seconds_bucket{le="+Inf"} 3' in text
+        assert "lat_seconds_count 3" in text
+        snap = h.snapshot()
+        assert snap["count"] == 3 and snap["p50_ms"] == 500.0
+
+    def test_collectors_join_exposition_and_replace_by_key(self):
+        reg = MetricsRegistry()
+        reg.register_collector(
+            "ext", lambda: [("ext_v", "gauge", "", [("ext_v", (), 1.0)])]
+        )
+        assert "ext_v 1" in reg.render()
+        reg.register_collector(
+            "ext", lambda: [("ext_v", "gauge", "", [("ext_v", (), 2.0)])]
+        )
+        assert "ext_v 2" in reg.render()
+        reg.unregister_collector("ext")
+        assert "ext_v" not in reg.render()
+
+    def test_render_is_wellformed_prometheus_text(self):
+        reg = MetricsRegistry()
+        reg.counter("a_total", "help a").inc()
+        reg.histogram("b_seconds", "help b").observe(0.01)
+        for line in reg.render().strip().splitlines():
+            if line.startswith("#"):
+                assert line.startswith(("# HELP ", "# TYPE "))
+            else:
+                name_part, value = line.rsplit(" ", 1)
+                float(value)  # every sample value parses
+                assert name_part[0].isalpha()
+
+    def test_latency_recorder_snapshot_shape(self):
+        rec = LatencyRecorder()
+        assert rec.snapshot() == {
+            "count": 0, "mean_ms": 0.0, "p50_ms": 0.0, "p99_ms": 0.0,
+        }
+        rec.record(0.002)
+        assert rec.snapshot()["count"] == 1
+
+
+# ---------------------------------------------------------------------- #
+# Spans and the columnar codec                                           #
+# ---------------------------------------------------------------------- #
+
+
+class TestSpans:
+    def test_tree_roundtrip_through_columns(self):
+        root = Span("request", kind="tree")
+        child = root.child("run")
+        child.child("rounds", observed_rounds=3).finish()
+        child.finish()
+        root.finish(verdict="REALIZED")
+        clone = decode_span_columns(encode_span_columns(root))
+        assert [s.name for s in clone.walk()] == [
+            s.name for s in root.walk()
+        ]
+        assert [s.tags for s in clone.walk()] == [s.tags for s in root.walk()]
+        assert clone.find("rounds").tags["observed_rounds"] == 3
+        assert clone.trace_id == root.trace_id
+
+    def test_child_bound_counts_drops(self):
+        root = Span("request")
+        for i in range(MAX_CHILDREN + 5):
+            root.child(f"c{i}")
+        root.finish()
+        assert len(root.children) == MAX_CHILDREN
+        assert root.tags["dropped_children"] == 5
+
+    def test_from_context_links_parent(self):
+        root = Span("request")
+        worker = Span.from_context("worker", root.context(), pid=1)
+        assert worker.trace_id == root.trace_id
+        assert worker.parent_id == root.span_id
+
+    def test_finish_is_idempotent(self):
+        span = Span("x")
+        span.finish()
+        first = span.end
+        span.finish()
+        assert span.end == first
+
+    def test_tracer_bounds_collected_traces(self):
+        tracer = Tracer(max_traces=2)
+        for _ in range(4):
+            tracer.collect(tracer.start("request"))
+        assert len(tracer) == 2
+        assert tracer.overflowed == 2
+        assert len(tracer.drain()) == 2
+        assert len(tracer) == 0
+
+    def test_round_phase_aggregate(self):
+        agg = RoundPhaseAggregate()
+        agg(1, {"validate": 0.5, "deliver": 1.0}, 4, 0)
+        agg(2, {"validate": 0.25, "deliver": 0.5}, 2, 3)
+        span = Span("run")
+        agg.attach(span)
+        rounds = span.find("rounds")
+        assert rounds.tags["observed_rounds"] == 2
+        assert rounds.tags["validate_s"] == 0.75
+        assert rounds.tags["max_queue_depth"] == 4
+        assert rounds.tags["max_defer_backlog"] == 3
+        seen = {}
+        agg.observe(lambda phase, sec: seen.__setitem__(phase, sec))
+        assert seen == {"validate": 0.75, "deliver": 1.5}
+
+
+class TestExporters:
+    def _traced_root(self):
+        root = Span("request", request_id="r")
+        worker = Span.from_context("worker", root.context(), pid=12345)
+        worker.child("run").finish()
+        worker.finish()
+        root.adopt(worker)
+        root.finish()
+        return root
+
+    def test_jsonl_export(self):
+        out = io.StringIO()
+        assert write_trace_jsonl([self._traced_root()], out) == 1
+        doc = json.loads(out.getvalue())
+        assert doc["name"] == "request"
+        assert doc["children"][0]["name"] == "worker"
+
+    def test_span_to_dict_nests(self):
+        doc = span_to_dict(self._traced_root())
+        assert doc["children"][0]["children"][0]["name"] == "run"
+        assert doc["duration_ms"] >= 0
+
+    def test_chrome_trace_worker_gets_its_own_track(self):
+        doc = chrome_trace([self._traced_root()])
+        events = doc["traceEvents"]
+        assert all(e["ph"] == "X" for e in events)
+        pids = {e["name"]: e["pid"] for e in events}
+        assert pids["worker"] == 12345  # worker track from the pid tag
+        assert pids["request"] != 12345
+
+    def test_metrics_http_listener(self):
+        reg = MetricsRegistry()
+        reg.counter("up_total", "").inc(3)
+        httpd, _thread = start_metrics_http(reg, port=0)
+        try:
+            port = httpd.server_address[1]
+            with urllib.request.urlopen(
+                f"http://127.0.0.1:{port}/metrics", timeout=10
+            ) as body:
+                text = body.read().decode()
+                assert body.headers["Content-Type"].startswith("text/plain")
+            assert "up_total 3" in text
+        finally:
+            httpd.shutdown()
+
+
+# ---------------------------------------------------------------------- #
+# Wire trailers                                                          #
+# ---------------------------------------------------------------------- #
+
+
+class TestWireTrailers:
+    def test_untraced_envelope_is_bare(self):
+        request = req(request_id="w")
+        wire = request.to_wire()
+        assert len(wire) == len(RealizationRequest._WIRE_KEYS)
+        assert RealizationRequest.wire_trace(wire) is None
+        assert RealizationRequest.from_wire(wire) == request
+
+    def test_trace_context_rides_the_request_envelope(self):
+        request = req(request_id="w")
+        wire = request.to_wire(trace=("t-1", 42))
+        assert RealizationRequest.wire_trace(wire) == ("t-1", 42)
+        assert RealizationRequest.from_wire(wire) == request
+
+    def test_span_columns_ride_the_response_envelope(self):
+        from repro.service.api import RealizationResponse, error_response
+
+        span = Span("worker")
+        span.finish()
+        response = error_response("r", "tree", "boom")
+        wire = response.to_wire(spans=encode_span_columns(span))
+        assert RealizationResponse.from_wire(wire) == response
+        clone = decode_span_columns(RealizationResponse.wire_spans(wire))
+        assert clone.name == "worker"
+        assert RealizationResponse.wire_spans(response.to_wire()) is None
+
+    def test_trailer_helpers(self):
+        body = (1, 2, 3)
+        wired = wire_mod.attach_trailer(body, "ctx")
+        assert wire_mod.wire_body(wired, 3) == body
+        assert wire_mod.wire_trailer(wired, 3) == "ctx"
+        assert wire_mod.wire_trailer(body, 3) is None
+
+
+# ---------------------------------------------------------------------- #
+# Executor integration                                                   #
+# ---------------------------------------------------------------------- #
+
+
+class TestExecutorTracing:
+    def test_sequential_handle_traces_with_engine_rounds(self):
+        tracer = Tracer()
+        executor = BatchExecutor(pool=NetworkPool(), tracer=tracer)
+        try:
+            response = executor.handle(req(request_id="r1"))
+        finally:
+            executor.close()
+        assert response.verdict == "REALIZED"
+        (root,) = tracer.drain()
+        names = [s.name for s in root.walk()]
+        assert names == ["request", "pool.lease", "run", "rounds"]
+        assert root.tags["verdict"] == "REALIZED"
+        rounds = root.find("rounds")
+        assert rounds.tags["observed_rounds"] > 0
+        # Engine phase timings landed in the labeled histogram too.
+        phases = executor.engine_phase_hist
+        assert phases.labels(phase="validate").count >= 1
+        assert phases.labels(phase="deliver").count >= 1
+
+    def test_cache_hit_trace_tagged_cached(self):
+        tracer = Tracer()
+        executor = BatchExecutor(pool=NetworkPool(), tracer=tracer)
+        try:
+            executor.handle(req(request_id="r1"))
+            response = executor.handle(req(request_id="r2"))
+        finally:
+            executor.close()
+        assert response.cached
+        roots = tracer.drain()
+        assert roots[1].tags.get("cached") is True
+        assert [s.name for s in roots[1].walk()] == ["request"]
+
+    def test_tracing_disabled_is_the_default_and_collects_nothing(self):
+        executor = BatchExecutor(pool=NetworkPool())
+        try:
+            assert executor.tracer is None
+            response = executor.handle(req())
+        finally:
+            executor.close()
+        assert response.verdict == "REALIZED"
+
+    def test_stats_view_keys_are_plain_ints(self):
+        executor = BatchExecutor(pool=NetworkPool())
+        try:
+            executor.handle(req())
+            stats = executor.stats()
+        finally:
+            executor.close()
+        for key in (
+            "requests_handled", "response_cache_hits", "coalesced_hits",
+            "worker_crashes", "worker_timeouts", "retries",
+            "deadline_exceeded", "degraded_handled",
+        ):
+            assert type(stats[key]) is int, key
+        assert stats["requests_handled"] == 1
+        assert stats["requests_by_kind"] == {"degree_implicit": 1}
+        assert stats["latency_stages"]["execution"]["count"] == 1
+        assert stats["latency_stages"]["queue_wait"]["count"] == 1
+        json.dumps(stats)  # the serve stats envelope serializes verbatim
+
+    def test_prometheus_exposition_covers_the_stack(self):
+        executor = BatchExecutor(pool=NetworkPool())
+        try:
+            executor.handle(req())
+            text = executor.metrics.render()
+        finally:
+            executor.close()
+        assert "repro_requests_total 1" in text
+        assert 'repro_requests_by_kind_total{kind="degree_implicit"} 1' in text
+        assert "repro_pool_leases_total 1" in text
+        assert "repro_breaker_state 0" in text
+        assert "repro_request_execution_seconds_count 1" in text
+
+    def test_observer_does_not_change_results(self):
+        # Bit-identity: the same request with and without tracing.
+        baseline = BatchExecutor(pool=NetworkPool())
+        traced = BatchExecutor(pool=NetworkPool(), tracer=Tracer())
+        try:
+            a = baseline.handle(req(request_id="x"))
+            b = traced.handle(req(request_id="x"))
+        finally:
+            baseline.close()
+            traced.close()
+        assert a.fingerprint() == b.fingerprint()
+
+    def test_round_observer_cleared_by_reset(self):
+        net = Network(8)
+        net.set_round_observer(lambda *a: None)
+        assert net.round_observer is not None
+        net.reset()
+        assert net.round_observer is None
+        net.close()
+
+
+class TestProcessTracing:
+    def test_submit_reassembles_worker_subtree(self):
+        tracer = Tracer()
+        executor = BatchExecutor(
+            mode="processes", workers=2, pool=NetworkPool(), tracer=tracer
+        )
+        try:
+            response = executor.submit(req(request_id="p1")).result(timeout=120)
+        finally:
+            executor.close()
+        assert response.verdict == "REALIZED"
+        (root,) = tracer.drain()
+        names = [s.name for s in root.walk()]
+        assert names == ["request", "worker", "pool.lease", "run", "rounds"]
+        worker = root.find("worker")
+        assert worker.trace_id == root.trace_id
+        assert worker.parent_id == root.span_id
+        assert worker.tags["pid"] != root.tags["pid"]
+
+    def test_batch_processes_traced_per_job(self):
+        tracer = Tracer()
+        executor = BatchExecutor(
+            mode="processes", workers=2, pool=NetworkPool(), tracer=tracer
+        )
+        try:
+            out = executor.run(
+                [req(request_id="a"), req(request_id="b", n=12)]
+            )
+        finally:
+            executor.close()
+        assert [r.verdict for r in out] == ["REALIZED", "REALIZED"]
+        roots = tracer.drain()
+        assert len(roots) == 2
+        for root in roots:
+            assert root.find("worker") is not None
+
+    def test_crash_recovery_spans_typed(self, monkeypatch):
+        plan = FaultPlan([FaultRule(action="crash", request_ids=("boom",))])
+        monkeypatch.setenv(faults.ENV_VAR, plan.to_json())
+        faults.clear()
+        tracer = Tracer()
+        executor = BatchExecutor(
+            mode="processes", workers=2, pool=NetworkPool(), tracer=tracer,
+            cache_responses=False,
+        )
+        try:
+            response = executor.submit(req(request_id="boom")).result(timeout=120)
+        finally:
+            executor.close()
+            faults.clear()
+        assert response.error_code == "WORKER_CRASHED"
+        (root,) = tracer.drain()
+        assert root.tags["error_code"] == "WORKER_CRASHED"
+        recoveries = [s for s in root.walk() if s.name == "crash_recovery"]
+        assert recoveries and recoveries[0].tags["attempt"] >= 1
+
+    def test_watchdog_timeout_span_typed(self, monkeypatch):
+        plan = FaultPlan([FaultRule(action="hang", request_ids=("stuck",))])
+        monkeypatch.setenv(faults.ENV_VAR, plan.to_json())
+        faults.clear()
+        tracer = Tracer()
+        executor = BatchExecutor(
+            mode="processes", workers=2, pool=NetworkPool(), tracer=tracer,
+            cache_responses=False, hang_timeout=0.5, watchdog_interval=0.05,
+        )
+        try:
+            response = executor.submit(req(request_id="stuck")).result(timeout=120)
+        finally:
+            executor.close()
+            faults.clear()
+        assert response.error_code == "WORKER_TIMEOUT"
+        (root,) = tracer.drain()
+        assert root.tags["error_code"] == "WORKER_TIMEOUT"
+        recovery = root.find("crash_recovery")
+        assert recovery is not None and recovery.tags["timed_out"] is True
+
+    def test_deadline_exceeded_span_typed(self):
+        tracer = Tracer()
+        executor = BatchExecutor(
+            mode="processes", workers=2, pool=NetworkPool(), tracer=tracer,
+            cache_responses=False,
+        )
+        try:
+            response = executor.submit(
+                req(request_id="dl", deadline_ms=1)
+            ).result(timeout=120)
+        finally:
+            executor.close()
+        assert response.error_code == "DEADLINE_EXCEEDED"
+        (root,) = tracer.drain()
+        assert root.tags["error_code"] == "DEADLINE_EXCEEDED"
+
+    @pytest.mark.skipif(not HAS_SPAWN, reason="spawn start method unavailable")
+    def test_trace_context_propagates_under_spawn(self):
+        # The context travels in the wire envelope, not inherited process
+        # state — so a spawn worker (fresh interpreter, nothing forked)
+        # must produce the same linked subtree a fork worker does.
+        root = Span("request", request_id="sp")
+        ctx = multiprocessing.get_context("spawn")
+        with ProcessPoolExecutor(
+            max_workers=1,
+            mp_context=ctx,
+            initializer=_process_worker_init,
+            initargs=(True, True),
+        ) as pool:
+            wire = pool.submit(
+                _process_worker_run_wire,
+                req(request_id="sp").to_wire(trace=root.context()),
+                None,
+            ).result(timeout=180)
+        from repro.service.api import RealizationResponse
+
+        response = RealizationResponse.from_wire(wire)
+        assert response.verdict == "REALIZED"
+        worker = decode_span_columns(RealizationResponse.wire_spans(wire))
+        root.adopt(worker)
+        root.finish()
+        assert worker.trace_id == root.trace_id
+        assert worker.parent_id == root.span_id
+        assert [s.name for s in root.walk()] == [
+            "request", "worker", "pool.lease", "run", "rounds",
+        ]
+
+
+# ---------------------------------------------------------------------- #
+# Socket serve                                                           #
+# ---------------------------------------------------------------------- #
+
+
+class TestSocketObservability:
+    def test_metrics_kind_and_uptime(self):
+        async def scenario():
+            tracer = Tracer()
+            executor = BatchExecutor(pool=NetworkPool(), tracer=tracer)
+            server = await SocketServer(executor, port=0, window=8).start()
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", server.port
+            )
+
+            async def roundtrip(payload):
+                writer.write((json.dumps(payload) + "\n").encode())
+                await writer.drain()
+                return json.loads(await reader.readline())
+
+            realized = await roundtrip(
+                {"request_id": "a", "kind": "degree_implicit",
+                 "scenario": "regular", "n": 12}
+            )
+            assert realized["verdict"] == "REALIZED"
+            stats = await roundtrip({"kind": "stats", "request_id": "s"})
+            assert stats["server"]["uptime_s"] >= 0
+            assert stats["executor"]["requests_by_kind"] == {
+                "degree_implicit": 1
+            }
+            metrics = await roundtrip({"kind": "metrics", "request_id": "m"})
+            assert metrics["verdict"] == "METRICS"
+            assert metrics["content_type"].startswith("text/plain")
+            assert "repro_requests_total 1" in metrics["text"]
+            assert "repro_server_handled_total" in metrics["text"]
+            assert "repro_server_uptime_seconds" in metrics["text"]
+            writer.close()
+            server.drain()
+            await server.wait_done()
+            executor.close()
+            (root,) = tracer.drain()
+            assert root.tags["verdict"] == "REALIZED"
+
+        run(scenario())
