@@ -28,6 +28,11 @@ writing a script:
   ``--hang-timeout`` arms the processes-mode watchdog (typed
   ``WORKER_TIMEOUT``); ``--trace-out`` collects request-scoped traces
   and ``--metrics-port`` exposes the Prometheus exposition over HTTP;
+  ``--journal PATH`` arms the write-ahead request journal (crash
+  recovery, idempotent exactly-once replay, client session resume) and
+  ``--supervise`` runs the socket server as a respawned-on-crash child;
+* ``supervise --port N`` — shorthand for ``serve --supervise``: run the
+  socket server under the kill-9 crash-restart supervisor;
 * ``trace requests.jsonl --out trace.json`` — drain a batch with
   tracing enabled and write the span trees as Chrome ``trace_event``
   JSON (``--format jsonl`` for one tree per line);
@@ -203,7 +208,7 @@ def cmd_approx(args) -> int:
 # ---------------------------------------------------------------------- #
 
 
-def _make_executor(args, tracer=None):
+def _make_executor(args, tracer=None, journal=None):
     from repro.service import BatchExecutor, NetworkPool
 
     try:
@@ -214,6 +219,7 @@ def _make_executor(args, tracer=None):
             workers=getattr(args, "workers", 4),
             hang_timeout=getattr(args, "hang_timeout", None),
             tracer=tracer,
+            journal=journal,
         )
     except ValueError as exc:
         raise SystemExit(str(exc))
@@ -291,6 +297,35 @@ def cmd_batch(args) -> int:
     return 1 if errors else 0
 
 
+def _serve_child_argv(args) -> List[str]:
+    """Rebuild the ``serve`` argv for a supervised child process.
+
+    Reconstructed from the parsed namespace (not ``sys.argv``) so the
+    ``supervise`` subcommand and ``serve --supervise`` produce the same
+    child either way, minus the supervision flags themselves.
+    """
+    argv = [sys.executable, "-m", "repro", "--seed", str(args.seed), "serve",
+            "--mode", args.mode, "--workers", str(args.workers),
+            "--host", args.host, "--port", str(args.port),
+            "--emit-timeout", str(args.emit_timeout),
+            "--close-timeout", str(args.close_timeout)]
+    if args.no_pool:
+        argv.append("--no-pool")
+    if args.no_cache:
+        argv.append("--no-cache")
+    if args.window is not None:
+        argv += ["--window", str(args.window)]
+    if args.hang_timeout is not None:
+        argv += ["--hang-timeout", str(args.hang_timeout)]
+    if args.trace_out is not None:
+        argv += ["--trace-out", args.trace_out, "--trace-format", args.trace_format]
+    if args.metrics_port is not None:
+        argv += ["--metrics-port", str(args.metrics_port)]
+    if args.journal is not None:
+        argv += ["--journal", args.journal, "--fsync", args.fsync]
+    return argv
+
+
 def cmd_serve(args) -> int:
     from repro.service import ServiceError, serve
     from repro.service.executor import validate_window
@@ -305,12 +340,56 @@ def cmd_serve(args) -> int:
         raise SystemExit(
             f"--metrics-port must be in 0..65535, got {args.metrics_port}"
         )
+    if getattr(args, "supervise", False):
+        from repro.service.supervise import supervise_loop, supervisor_policy
+
+        if args.port is None:
+            raise SystemExit(
+                "--supervise requires --port: the supervisor and a "
+                "respawned child cannot share one stdin/stdout stream"
+            )
+        if args.max_restarts < 0:
+            raise SystemExit(
+                f"--max-restarts must be >= 0, got {args.max_restarts}"
+            )
+        return supervise_loop(
+            _serve_child_argv(args),
+            policy=supervisor_policy(seed=args.seed),
+            max_restarts=args.max_restarts,
+        )
     tracer = None
     if args.trace_out is not None:
         from repro.obs import Tracer
 
         tracer = Tracer()
-    executor = _make_executor(args, tracer=tracer)
+    journal = None
+    sessions = None
+    if args.journal is not None:
+        from repro.service.journal import JournalError, RequestJournal
+
+        try:
+            journal = RequestJournal(args.journal, fsync=args.fsync)
+        except (JournalError, OSError, ValueError) as exc:
+            raise SystemExit(f"cannot open journal: {exc}")
+    executor = _make_executor(args, tracer=tracer, journal=journal)
+    if journal is not None:
+        # Recovery happens before any socket binds: admitted-but-not-
+        # completed requests from a crashed predecessor are re-executed
+        # exactly once, and resuming sessions get their replay buffers.
+        sessions = executor.recover_journal()
+        recovery = journal.stats()
+        print(
+            f"serve[{executor.mode}]: journal {args.journal} recovered "
+            f"{recovery['recovered_records']} record(s), "
+            f"{recovery['recovered_incomplete']} re-executed, "
+            f"{len(sessions)} session(s)"
+            + (
+                f", torn tail truncated ({recovery['truncated_bytes']} bytes)"
+                if recovery["torn_tail"]
+                else ""
+            ),
+            file=sys.stderr, flush=True,
+        )
     metrics_httpd = None
     if args.metrics_port is not None:
         from repro.obs import start_metrics_http
@@ -345,6 +424,7 @@ def cmd_serve(args) -> int:
                 ready=ready,
                 emit_timeout=args.emit_timeout,
                 close_timeout=args.close_timeout,
+                sessions=sessions,
             )
         except ServiceError as exc:
             raise SystemExit(str(exc))
@@ -359,6 +439,19 @@ def cmd_serve(args) -> int:
             executor.close()
             if metrics_httpd is not None:
                 metrics_httpd.shutdown()
+    if journal is not None:
+        # Clean drain: every admitted request has its completed record,
+        # so compaction shrinks the journal to the replay/session tail.
+        journal.compact()
+        jstats = journal.stats()
+        journal.close()
+        print(
+            f"serve[{executor.mode}]: journal compacted "
+            f"({jstats['replay_keys']} replay key(s), "
+            f"{jstats['sessions']} session tail(s), "
+            f"{jstats['incomplete']} incomplete)",
+            file=sys.stderr,
+        )
     if tracer is not None:
         traces = _write_traces(tracer, args.trace_out, args.trace_format)
         print(
@@ -372,6 +465,11 @@ def cmd_serve(args) -> int:
         file=sys.stderr,
     )
     return 1 if errors else 0
+
+
+def cmd_supervise(args) -> int:
+    args.supervise = True
+    return cmd_serve(args)
 
 
 def cmd_trace(args) -> int:
@@ -535,76 +633,115 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--no-cache", action="store_true", help="disable response cache")
     p.set_defaults(fn=cmd_batch)
 
+    def add_serve_args(p) -> None:
+        # Shared between `serve` and `supervise` (the supervisor rebuilds
+        # the child's `serve` argv from this same namespace).
+        p.add_argument(
+            "--mode",
+            choices=("sequential", "threads", "processes"),
+            default="sequential",
+            help="request handling: sequential/threads handle each line in "
+            "turn; processes streams — lines are submitted to the worker "
+            "pool as they arrive and responses are emitted, in input order, "
+            "as they complete",
+        )
+        p.add_argument("--workers", type=int, default=4)
+        p.add_argument("--no-pool", action="store_true", help="fresh network per request")
+        p.add_argument("--no-cache", action="store_true", help="disable response cache")
+        p.add_argument(
+            "--host", default="127.0.0.1",
+            help="bind address for the socket server (with --port)",
+        )
+        p.add_argument(
+            "--port", type=int, default=None,
+            help="serve JSONL over TCP on this port instead of stdin/stdout "
+            "(0 = ephemeral; the bound address is printed to stderr)",
+        )
+        p.add_argument(
+            "--window", type=int, default=None,
+            help="in-flight backpressure window (>= 1; default "
+            "%(default)s -> module default): the stdio streaming path "
+            "blocks its reader at the window, the socket server rejects "
+            "with error_code=ADMISSION_REJECTED",
+        )
+        p.add_argument(
+            "--emit-timeout", type=float, default=60.0,
+            help="socket server: max seconds to flush a closing "
+            "connection's pending responses (default %(default)s; tightened "
+            "automatically when every request on the connection carries a "
+            "deadline_ms)",
+        )
+        p.add_argument(
+            "--close-timeout", type=float, default=5.0,
+            help="socket server: max seconds to wait for a closing "
+            "connection's transport to shut down (default %(default)s)",
+        )
+        p.add_argument(
+            "--hang-timeout", type=float, default=None,
+            help="processes mode: kill and replace a worker whose request "
+            "runs longer than this many seconds even without a deadline_ms "
+            "(typed WORKER_TIMEOUT; default: off, deadlines still enforced)",
+        )
+        p.add_argument(
+            "--trace-out", default=None, metavar="PATH",
+            help="enable request-scoped tracing and write the collected "
+            "traces to PATH at shutdown (--trace-format selects the format)",
+        )
+        p.add_argument(
+            "--trace-format", choices=("chrome", "jsonl"), default="chrome",
+            help="trace file format for --trace-out: Chrome trace_event JSON "
+            "(load in chrome://tracing / Perfetto) or one span tree per "
+            "line (default %(default)s)",
+        )
+        p.add_argument(
+            "--metrics-port", type=int, default=None, metavar="PORT",
+            help="also expose the Prometheus text exposition on "
+            "http://127.0.0.1:PORT/metrics (0 = ephemeral; the bound "
+            "address is printed to stderr).  The same text is available "
+            "in-band via a {\"kind\": \"metrics\"} request line",
+        )
+        p.add_argument(
+            "--journal", default=None, metavar="PATH",
+            help="write-ahead request journal: every admission and "
+            "completion is logged (CRC-checked) so a crash-restarted "
+            "server recovers in-flight work and answers duplicate "
+            "idempotency_key submissions exactly once",
+        )
+        p.add_argument(
+            "--fsync", choices=("never", "batch", "always"), default="batch",
+            help="journal fsync policy (default %(default)s): never = OS "
+            "flush only, batch = fsync every 32 records plus barriers, "
+            "always = fsync per record.  SIGKILL loses nothing at any "
+            "policy; the policy only bounds the power-loss window",
+        )
+        p.add_argument(
+            "--max-restarts", type=int, default=5,
+            help="supervision: give up after this many crash respawns "
+            "(default %(default)s; seeded exponential backoff between "
+            "respawns)",
+        )
+
     p = sub.add_parser(
         "serve",
         help="long-lived JSONL service on stdin/stdout (default) or, "
         "with --port, a multi-client TCP socket server",
     )
+    add_serve_args(p)
     p.add_argument(
-        "--mode",
-        choices=("sequential", "threads", "processes"),
-        default="sequential",
-        help="request handling: sequential/threads handle each line in "
-        "turn; processes streams — lines are submitted to the worker "
-        "pool as they arrive and responses are emitted, in input order, "
-        "as they complete",
-    )
-    p.add_argument("--workers", type=int, default=4)
-    p.add_argument("--no-pool", action="store_true", help="fresh network per request")
-    p.add_argument("--no-cache", action="store_true", help="disable response cache")
-    p.add_argument(
-        "--host", default="127.0.0.1",
-        help="bind address for the socket server (with --port)",
-    )
-    p.add_argument(
-        "--port", type=int, default=None,
-        help="serve JSONL over TCP on this port instead of stdin/stdout "
-        "(0 = ephemeral; the bound address is printed to stderr)",
-    )
-    p.add_argument(
-        "--window", type=int, default=None,
-        help="in-flight backpressure window (>= 1; default "
-        "%(default)s -> module default): the stdio streaming path "
-        "blocks its reader at the window, the socket server rejects "
-        "with error_code=ADMISSION_REJECTED",
-    )
-    p.add_argument(
-        "--emit-timeout", type=float, default=60.0,
-        help="socket server: max seconds to flush a closing "
-        "connection's pending responses (default %(default)s; tightened "
-        "automatically when every request on the connection carries a "
-        "deadline_ms)",
-    )
-    p.add_argument(
-        "--close-timeout", type=float, default=5.0,
-        help="socket server: max seconds to wait for a closing "
-        "connection's transport to shut down (default %(default)s)",
-    )
-    p.add_argument(
-        "--hang-timeout", type=float, default=None,
-        help="processes mode: kill and replace a worker whose request "
-        "runs longer than this many seconds even without a deadline_ms "
-        "(typed WORKER_TIMEOUT; default: off, deadlines still enforced)",
-    )
-    p.add_argument(
-        "--trace-out", default=None, metavar="PATH",
-        help="enable request-scoped tracing and write the collected "
-        "traces to PATH at shutdown (--trace-format selects the format)",
-    )
-    p.add_argument(
-        "--trace-format", choices=("chrome", "jsonl"), default="chrome",
-        help="trace file format for --trace-out: Chrome trace_event JSON "
-        "(load in chrome://tracing / Perfetto) or one span tree per "
-        "line (default %(default)s)",
-    )
-    p.add_argument(
-        "--metrics-port", type=int, default=None, metavar="PORT",
-        help="also expose the Prometheus text exposition on "
-        "http://127.0.0.1:PORT/metrics (0 = ephemeral; the bound "
-        "address is printed to stderr).  The same text is available "
-        "in-band via a {\"kind\": \"metrics\"} request line",
+        "--supervise", action="store_true",
+        help="run the server as a supervised child process (requires "
+        "--port): a crash or SIGKILL respawns it with bounded backoff, "
+        "and with --journal the restart recovers in-flight requests",
     )
     p.set_defaults(fn=cmd_serve)
+
+    p = sub.add_parser(
+        "supervise",
+        help="run `serve --port N` under the crash-restart supervisor "
+        "(same as `serve --supervise`; requires --port)",
+    )
+    add_serve_args(p)
+    p.set_defaults(fn=cmd_supervise)
 
     p = sub.add_parser(
         "trace",

@@ -30,7 +30,9 @@ from repro.service.api import (
     error_response,
 )
 from repro.service.faults import FaultPlan, FaultRule
+from repro.service.journal import JournalRecovery, RequestJournal
 from repro.service.robustness import CircuitBreaker, RetryPolicy
+from repro.service.supervise import supervise_loop, supervisor_policy
 from repro.service.executor import (
     SERVE_STREAM_WINDOW,
     BatchExecutor,
@@ -48,8 +50,11 @@ from repro.obs import MetricsRegistry, Span, Tracer
 from repro.service.server import (
     ADMISSION_REJECTED,
     METRICS_KIND,
+    SESSION_KIND,
+    SESSION_UNKNOWN,
     STATS_KIND,
     SocketServer,
+    retry_after_hint,
     serve_socket,
     validate_timeout,
 )
@@ -67,15 +72,19 @@ __all__ = [
     "DEFAULT_REGISTRY",
     "FaultPlan",
     "FaultRule",
+    "JournalRecovery",
     "KINDS",
     "LatencyRecorder",
     "METRICS_KIND",
     "MetricsRegistry",
     "NetworkPool",
+    "RequestJournal",
     "RetryPolicy",
     "RealizationRequest",
     "RealizationResponse",
     "SERVE_STREAM_WINDOW",
+    "SESSION_KIND",
+    "SESSION_UNKNOWN",
     "STATS_KIND",
     "Scenario",
     "ScenarioRegistry",
@@ -88,10 +97,13 @@ __all__ = [
     "parse_request_line",
     "parse_request_payload",
     "resolve_workload",
+    "retry_after_hint",
     "run_batch_lines",
     "run_request",
     "serve",
     "serve_socket",
+    "supervise_loop",
+    "supervisor_policy",
     "validate_timeout",
     "validate_window",
 ]

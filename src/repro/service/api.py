@@ -98,6 +98,7 @@ class RealizationRequest:
     max_rounds: Optional[int] = None  # per-request round budget (isolation)
     shards: int = 0  # engine="sharded" only; 0 = engine default
     deadline_ms: Optional[int] = None  # wall-clock budget from arrival (ms)
+    idempotency_key: Optional[str] = None  # exactly-once replay identity
 
     def __post_init__(self) -> None:
         if self.degrees is not None and not isinstance(self.degrees, tuple):
@@ -203,6 +204,13 @@ class RealizationRequest:
             raise ServiceError(
                 f"'deadline_ms' must be a positive integer, got {self.deadline_ms!r}"
             )
+        if self.idempotency_key is not None and (
+            not isinstance(self.idempotency_key, str) or not self.idempotency_key
+        ):
+            raise ServiceError(
+                "'idempotency_key' must be a non-empty string, got "
+                f"{self.idempotency_key!r}"
+            )
         if not isinstance(self.shards, int) or isinstance(self.shards, bool):
             raise ServiceError(f"'shards' must be an integer, got {self.shards!r}")
         if self.shards < 0:
@@ -251,8 +259,10 @@ class RealizationRequest:
         request must not split the cache).  ``deadline_ms`` is neutral
         too: the deadline bounds *when* an answer arrives, never *what*
         it is (cache hits resolve instantly, so a hit always meets any
-        deadline; error envelopes are never cached)."""
-        neutral = {"request_id": "", "deadline_ms": None}
+        deadline; error envelopes are never cached).  ``idempotency_key``
+        is likewise neutral: it names the *submission* for journal
+        replay, never the computation."""
+        neutral = {"request_id": "", "deadline_ms": None, "idempotency_key": None}
         if self.kind != "tree":
             neutral["tree_variant"] = "min_diameter"
         if self.kind != "connectivity":
@@ -280,6 +290,7 @@ class RealizationRequest:
         "kind", "request_id", "degrees", "scenario", "params", "n", "seed",
         "engine", "sort_fidelity", "tree_variant", "model", "repairs",
         "explicit_envelope", "max_rounds", "shards", "deadline_ms",
+        "idempotency_key",
     )
     _DEGREES_SLOT = _WIRE_KEYS.index("degrees")
 
@@ -394,6 +405,7 @@ class RealizationRequest:
             ("max_rounds", None),
             ("shards", 0),
             ("deadline_ms", None),
+            ("idempotency_key", None),
         ):
             value = getattr(self, attr)
             if value != default:
@@ -531,14 +543,37 @@ assert RealizationResponse._WIRE_KEYS == tuple(
 
 
 def error_response(
-    request_id: str, kind: str, message: str, code: Optional[str] = None
+    request_id: str,
+    kind: str,
+    message: str,
+    code: Optional[str] = None,
+    retry_after_ms: Optional[int] = None,
 ) -> RealizationResponse:
-    """The uniform failure envelope (``code`` types actionable failures)."""
+    """The uniform failure envelope (``code`` types actionable failures).
+
+    ``retry_after_ms`` rides in ``detail`` — a deterministic backoff
+    hint on ``ADMISSION_REJECTED`` envelopes (derived from window
+    occupancy by the socket server) so clients can pace resubmission
+    instead of hammering a full window.  It must be a positive int;
+    anything else is a caller bug, rejected here rather than shipped.
+    """
+    detail: Tuple[Tuple[str, Any], ...] = ()
+    if retry_after_ms is not None:
+        if (
+            not isinstance(retry_after_ms, int)
+            or isinstance(retry_after_ms, bool)
+            or retry_after_ms < 1
+        ):
+            raise ValueError(
+                f"retry_after_ms must be a positive integer, got {retry_after_ms!r}"
+            )
+        detail = (("retry_after_ms", retry_after_ms),)
     return RealizationResponse(
         request_id=request_id,
         kind=kind,
         ok=False,
         verdict="ERROR",
+        detail=detail,
         error=message,
         error_code=code,
     )

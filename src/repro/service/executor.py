@@ -58,6 +58,7 @@ import dataclasses
 import io
 import json
 import os
+import signal
 import threading
 import time
 from collections import OrderedDict
@@ -92,6 +93,7 @@ from repro.service.api import (
     ServiceError,
     error_response,
 )
+from repro.service.journal import RequestJournal
 from repro.service.pool import NetworkPool
 from repro.service.registry import (
     DEFAULT_REGISTRY,
@@ -534,6 +536,7 @@ class BatchExecutor:
         watchdog_interval: float = 0.05,
         metrics: Optional[MetricsRegistry] = None,
         tracer: Optional[Tracer] = None,
+        journal: Optional[RequestJournal] = None,
     ) -> None:
         if mode not in EXECUTOR_MODES:
             raise ValueError(f"mode must be one of {EXECUTOR_MODES}, got {mode!r}")
@@ -671,6 +674,20 @@ class BatchExecutor:
         if pool is not None:
             self.metrics.register_collector("network_pool", pool.collect_metrics)
         self.metrics.register_collector("circuit_breaker", self._breaker_metrics)
+        # Durability: with a journal attached, every request is written
+        # at admission and completion (handle, submit, and the batch
+        # processes drain all funnel through it); duplicate submissions
+        # carrying an idempotency_key are answered from the journal's
+        # completed record without re-executing.  None (default) keeps
+        # the hot path journal-free — a single attribute check.
+        self.journal = journal
+        if journal is not None:
+            if journal.fsync_observer is None:
+                journal.fsync_observer = self.metrics.histogram(
+                    "repro_journal_fsync_seconds",
+                    "Journal fsync barrier latency",
+                ).observe
+            self.metrics.register_collector("journal", journal.collect_metrics)
         # The registry may be shared (DEFAULT_REGISTRY); snapshot its
         # counters so stats() excludes traffic from before this executor
         # existed.  (Concurrent traffic from *other* executors sharing
@@ -714,6 +731,10 @@ class BatchExecutor:
             # wait (no cancel): queued degraded jobs hold futures that
             # clients are blocked on; they must resolve, not vanish.
             degraded.shutdown(wait=True)
+        if self.journal is not None:
+            # Durability barrier at teardown: whatever the fsync policy,
+            # a closed executor leaves nothing OS-buffered.
+            self.journal.flush()
 
     def _reopen(self) -> None:
         """Public entry points re-open after close(); stats go live again."""
@@ -1124,14 +1145,73 @@ class BatchExecutor:
                 f"internal error: {type(exc).__name__}: {exc}",
             )
 
-    def handle(self, request: RealizationRequest) -> RealizationResponse:
+    def _journal_replay(
+        self, request: RealizationRequest
+    ) -> Optional[RealizationResponse]:
+        """Answer a duplicate submission from the journal, or None.
+
+        The replayed envelope is the journaled completion verbatim
+        (field-identical; only ``request_id`` follows the resubmission,
+        like a cache hit) — the request is never re-executed."""
+        assert self.journal is not None
+        replayed = self.journal.replay_idempotent(request)
+        if replayed is None:
+            return None
+        with self._cache_lock:
+            self.requests_handled.inc()
+            self.requests_by_kind.labels(kind=request.kind).inc()
+        return replayed
+
+    def _journal_admit(
+        self,
+        request: RealizationRequest,
+        session: Optional[Tuple[str, int]] = None,
+    ) -> int:
+        """Write the admitted record, then honor any ``server_kill``
+        fault: the injected SIGKILL lands *after* the record reaches the
+        OS (``_append`` flushes), which is exactly the crash the
+        supervisor's recovery contract is written against."""
+        assert self.journal is not None
+        seq = self.journal.append_admitted(request, session)
+        plan = faults.active()
+        if plan is not None and plan.match("server_kill", request.request_id):
+            os.kill(os.getpid(), signal.SIGKILL)
+        return seq
+
+    def handle(
+        self,
+        request: RealizationRequest,
+        session: Optional[Tuple[str, int]] = None,
+    ) -> RealizationResponse:
         """One request through the full warm path: validate, consult the
         cache, coalesce onto an identical in-flight execution, or run.
 
         A request carrying ``deadline_ms`` starts its wall clock here
         (arrival), so time spent waiting on a coalesced leader counts
         against the deadline too.
+
+        With a journal attached the request is journaled at admission
+        (before any work, tagged with its ``session`` slot when the
+        socket server supplies one) and again at completion; duplicate
+        submissions with a known ``idempotency_key`` short-circuit to
+        the journaled response.
         """
+        if self.journal is not None:
+            replayed = self._journal_replay(request)
+            if replayed is not None:
+                return replayed
+            jseq = self._journal_admit(request, session)
+            # ERROR envelopes complete too: the journal records what was
+            # *answered*, not just what succeeded — a replayed session
+            # must see the same stream.  If the core raises (it returns
+            # error envelopes instead, so this means a genuine crash)
+            # the record stays incomplete and recovery re-executes it.
+            response = self._handle_core(request)
+            self.journal.append_completed(jseq, response)
+            return response
+        return self._handle_core(request)
+
+    def _handle_core(self, request: RealizationRequest) -> RealizationResponse:
         if self._closed:  # cheap unlocked read; re-opening is rare
             self._reopen()
         started = time.perf_counter()
@@ -1236,6 +1316,7 @@ class BatchExecutor:
         request: RealizationRequest,
         out: "Future",
         deadline: Optional[float] = None,
+        session: Optional[Tuple[str, int]] = None,
     ) -> "Future":
         """The :meth:`submit` body without the re-open: internal callers
         (the streaming serve pump) must not resurrect a closed executor
@@ -1243,6 +1324,22 @@ class BatchExecutor:
         envelope instead.  ``deadline`` lets front ends stamp arrival
         time themselves (the socket server stamps at admission); by
         default the request's ``deadline_ms`` clock starts here."""
+        if self.journal is not None:
+            replayed = self._journal_replay(request)
+            if replayed is not None:
+                out.set_result(replayed)
+                return out
+            jseq = self._journal_admit(request, session)
+            journal = self.journal
+
+            def _journal_done(f: "Future") -> None:
+                try:  # CancelledError is a BaseException since 3.8
+                    response = f.result(timeout=0)
+                except BaseException:
+                    return  # no response answered -> stays incomplete
+                journal.append_completed(jseq, response)
+
+            out.add_done_callback(_journal_done)
         started = time.perf_counter()
         span = self._start_span(request)
 
@@ -1624,6 +1721,34 @@ class BatchExecutor:
     def _run_processes(
         self, batch: List[RealizationRequest]
     ) -> List[RealizationResponse]:
+        """Journal-aware batch drain: admitted records land before the
+        batch crosses the process boundary, completions after, and
+        duplicate idempotent submissions never reach the pool at all."""
+        if self.journal is None:
+            return self._run_processes_core(batch)
+        responses: List[Optional[RealizationResponse]] = [None] * len(batch)
+        fresh: List[RealizationRequest] = []
+        fresh_idx: List[int] = []
+        seqs: List[int] = []
+        for i, request in enumerate(batch):
+            replayed = self._journal_replay(request)
+            if replayed is not None:
+                responses[i] = replayed
+                continue
+            seqs.append(self._journal_admit(request))
+            fresh.append(request)
+            fresh_idx.append(i)
+        if fresh:
+            for i, seq, response in zip(
+                fresh_idx, seqs, self._run_processes_core(fresh)
+            ):
+                self.journal.append_completed(seq, response)
+                responses[i] = response
+        return responses  # type: ignore[return-value]
+
+    def _run_processes_core(
+        self, batch: List[RealizationRequest]
+    ) -> List[RealizationResponse]:
         """Drain across the persistent worker processes.
 
         The parent validates, serves cache hits, and coalesces identical
@@ -1981,7 +2106,52 @@ class BatchExecutor:
         }
         if self.pool is not None:
             out["pool"] = self.pool.stats()
+        if self.journal is not None:
+            out["journal"] = self.journal.stats()
         return out
+
+    # ---------------------------------------------------------------- #
+    # Journal recovery (supervised restart)                            #
+    # ---------------------------------------------------------------- #
+
+    def recover_journal(
+        self,
+    ) -> Dict[str, List[Tuple[int, RealizationResponse]]]:
+        """Replay the journal's startup scan into serving state.
+
+        ``admitted``-but-not-``completed`` requests are the work a crash
+        interrupted: each is answered from the journal when a duplicate
+        with the same ``idempotency_key`` already completed, otherwise
+        re-executed (deterministically — same envelope, same response)
+        — exactly once, and its completion is journaled against the
+        *original* admission seq.  Returns the recovered per-session
+        response tails (including the just-re-executed ones) in emit
+        order, ready to seed the socket server's resume buffers.
+        """
+        journal = self.journal
+        if journal is None:
+            return {}
+        rec = journal.recover()
+        sessions: Dict[str, List[Tuple[int, RealizationResponse]]] = {
+            token: list(tail) for token, tail in rec.sessions.items()
+        }
+        for seq, token, sidx, request in rec.incomplete:
+            response = journal.replay_idempotent(request)
+            if response is None:
+                # Re-execute without re-journaling a second admission:
+                # recovery runs single-threaded before serving starts,
+                # so detaching the journal around the core is safe.
+                self.journal = None
+                try:
+                    response = self.handle(request)
+                finally:
+                    self.journal = journal
+            journal.append_completed(seq, response)
+            if token:
+                sessions.setdefault(token, []).append((sidx, response))
+        for tail in sessions.values():
+            tail.sort(key=lambda pair: pair[0])
+        return sessions
 
 
 # ---------------------------------------------------------------------- #

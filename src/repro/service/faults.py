@@ -23,10 +23,25 @@ Supported actions (each applied at its natural choke point):
                 the parent, exercising the transport-error envelope)
 ``writer_error``  socket server treats the next write of a matching
                 response as a broken pipe (``_emit_loop``)
+``server_kill``  the *server* process SIGKILLs itself right after the
+                matching request's ``admitted`` journal record lands —
+                the supervisor/restart drill (requires a journal)
+``fsync_error``  the journal's next fsync barrier for a matching record
+                fails (counted, durability degrades, service continues)
 ==============  =====================================================
 
 Nothing here runs in production paths unless a plan is installed: the
 hot-path cost is one module-global ``is None`` check.
+
+Rules with ``max_fires`` count fires **per process** by default, which
+is wrong for exactly the two new actions: a ``server_kill`` rule must
+not re-fire in the respawned server (the supervisor would kill-loop to
+its restart bound), and spawn-mode pool children re-parsing
+``REPRO_FAULT_PLAN`` used to get fresh counters and double-fire
+one-shot rules.  A plan may therefore carry a ``state_path``: a shared
+append-only file recording every fire (one rule index per line), making
+``max_fires`` a *cross-process* bound that survives respawns and
+re-parses.
 """
 
 from __future__ import annotations
@@ -38,7 +53,15 @@ import threading
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Sequence, Tuple
 
-ACTIONS = ("crash", "hang", "slow", "wire_error", "writer_error")
+ACTIONS = (
+    "crash",
+    "hang",
+    "slow",
+    "wire_error",
+    "writer_error",
+    "server_kill",
+    "fsync_error",
+)
 
 
 def hash_unit(token: str) -> float:
@@ -142,16 +165,48 @@ class FaultPlan:
     ``hash_unit(f"{seed}:{i}:{action}:{request_id}")`` — stable across
     processes and start methods.  Fire counters (for ``max_fires``) are
     per plan instance, hence per process: each pool worker parses its
-    own plan from the environment.
+    own plan from the environment.  With ``state_path`` set, fires are
+    additionally recorded in (and counted from) a shared append-only
+    file, so the cap holds across processes, respawns and env
+    re-parses — a one-shot ``crash`` rule fires once *globally* instead
+    of once per spawned child, and a ``server_kill`` rule cannot
+    kill-loop the supervisor.
     """
 
-    def __init__(self, rules: Sequence[FaultRule], seed: int = 0) -> None:
+    def __init__(
+        self,
+        rules: Sequence[FaultRule],
+        seed: int = 0,
+        state_path: Optional[str] = None,
+    ) -> None:
         self.rules: Tuple[FaultRule, ...] = tuple(rules)
         if isinstance(seed, bool) or not isinstance(seed, int):
             raise ValueError(f"seed must be an int, got {seed!r}")
+        if state_path is not None and not isinstance(state_path, str):
+            raise ValueError(f"state_path must be a string, got {state_path!r}")
         self.seed = seed
+        self.state_path = state_path
         self._fired: Dict[int, int] = {}
         self._lock = threading.Lock()
+
+    def _shared_count(self, index: int) -> int:
+        """Fires recorded for rule ``index`` in the shared state file."""
+        assert self.state_path is not None
+        try:
+            with open(self.state_path, "r", encoding="ascii") as fh:
+                wanted = str(index)
+                return sum(1 for line in fh if line.strip() == wanted)
+        except FileNotFoundError:
+            return 0
+
+    def _record_shared_fire(self, index: int) -> None:
+        assert self.state_path is not None
+        # O_APPEND: concurrent writers interleave whole lines.  Two
+        # processes racing through the read-then-append window can
+        # overfire by one — the deterministic choke points the tests use
+        # are single-threaded, so the simplicity wins.
+        with open(self.state_path, "a", encoding="ascii") as fh:
+            fh.write(f"{index}\n")
 
     def _coin(self, index: int, rule: FaultRule, request_id: str) -> bool:
         token = f"{self.seed}:{index}:{rule.action}:{request_id}"
@@ -168,14 +223,25 @@ class FaultPlan:
                 continue
             with self._lock:
                 fired = self._fired.get(index, 0)
-                if rule.max_fires is not None and fired >= rule.max_fires:
-                    continue
-                self._fired[index] = fired + 1
+                if rule.max_fires is not None:
+                    if self.state_path is not None:
+                        fired = max(fired, self._shared_count(index))
+                    if fired >= rule.max_fires:
+                        continue
+                    if self.state_path is not None:
+                        self._record_shared_fire(index)
+                self._fired[index] = self._fired.get(index, 0) + 1
             return rule
         return None
 
     def to_dict(self) -> Dict[str, object]:
-        return {"seed": self.seed, "rules": [rule.to_dict() for rule in self.rules]}
+        out: Dict[str, object] = {
+            "seed": self.seed,
+            "rules": [rule.to_dict() for rule in self.rules],
+        }
+        if self.state_path is not None:
+            out["state_path"] = self.state_path
+        return out
 
     def to_json(self) -> str:
         return json.dumps(self.to_dict(), separators=(",", ":"))
@@ -184,7 +250,7 @@ class FaultPlan:
     def from_dict(cls, payload: Dict[str, object]) -> "FaultPlan":
         if not isinstance(payload, dict):
             raise ValueError(f"fault plan must be an object, got {payload!r}")
-        unknown = set(payload) - {"seed", "rules"}
+        unknown = set(payload) - {"seed", "rules", "state_path"}
         if unknown:
             raise ValueError(f"unknown fault plan fields: {sorted(unknown)}")
         rules = payload.get("rules", [])
@@ -193,6 +259,7 @@ class FaultPlan:
         return cls(
             rules=[FaultRule.from_dict(rule) for rule in rules],
             seed=payload.get("seed", 0),
+            state_path=payload.get("state_path"),
         )
 
     @classmethod
@@ -263,6 +330,11 @@ def ensure_worker_plan() -> None:
     fire counters are shared-by-copy — re-parsing from the environment
     (when set) gives every worker fresh counters.  With no env var set,
     an inherited (fork) install is kept.
+
+    Fresh counters per process are exactly what one-shot rules must
+    *not* get (a ``max_fires=1`` rule would re-fire in every spawned
+    child): plans that need the cap to hold across processes carry a
+    ``state_path``, whose shared fire log survives this re-parse.
     """
     env_plan = plan_from_env()
     if env_plan is not None:

@@ -75,6 +75,12 @@ class RetryPolicy:
         jittered = base * (1.0 - self.jitter + 2.0 * self.jitter * coin)
         return min(jittered, self.max_delay_ms) / 1000.0
 
+    def schedule(self, attempts: int) -> list:
+        """The full seeded backoff schedule (seconds) for ``attempts``
+        tries — what a supervisor logs up front so an operator can see
+        the worst-case respawn timeline before it happens."""
+        return [self.delay_sec(attempt) for attempt in range(1, attempts + 1)]
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"RetryPolicy(max_attempts={self.max_attempts}, "

@@ -32,16 +32,37 @@ delimited JSONL connections onto one shared :class:`BatchExecutor`:
   (never queued behind realization work) with the executor's counters —
   cache, coalescing, crashes, and the p50/p99 latency recorder — plus
   the server's own admission counters.
+* **Session resume.**  A ``{"kind": "session"}`` handshake issues a
+  token; every realization response emitted on a session-bound
+  connection is buffered under a monotone ``session_seq`` (and, with a
+  journal attached, recorded durably).  A client that reconnects — after
+  a dropped socket *or* a server restart — presents the token with the
+  count of responses it has processed and receives the unacked tail
+  replayed in order, field-identical, before new traffic:
+
+  .. code-block:: text
+
+     C> {"kind": "session"}
+     S< {"kind": "session", "ok": true, "verdict": "SESSION",
+         "session": "ab12...", "resumed": false, "replayed": 0, ...}
+     C> {"kind": "tree", "request_id": "t1", "degrees": [1, 1]}
+     S< {..., "request_id": "t1", "session_seq": 0}
+        -- connection drops; client reconnects --
+     C> {"kind": "session", "session": "ab12...", "acked": 0}
+     S< {"kind": "session", ..., "resumed": true, "replayed": 1}
+     S< {..., "request_id": "t1", "session_seq": 0}   (replay)
 """
 
 from __future__ import annotations
 
 import asyncio
 import json
+import secrets
 import signal
 import time
+from collections import OrderedDict
 from concurrent.futures import Future, ThreadPoolExecutor
-from typing import Any, Callable, Dict, Optional, Set, Tuple
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple
 
 from repro.obs import PROMETHEUS_CONTENT_TYPE
 from repro.service import faults
@@ -56,8 +77,11 @@ from repro.service.pool import NetworkPool
 __all__ = [
     "ADMISSION_REJECTED",
     "METRICS_KIND",
+    "SESSION_KIND",
+    "SESSION_UNKNOWN",
     "STATS_KIND",
     "SocketServer",
+    "retry_after_hint",
     "serve_socket",
     "validate_timeout",
 ]
@@ -90,16 +114,105 @@ STATS_KIND = "stats"
 #: bridges unwrap ``text`` verbatim.
 METRICS_KIND = "metrics"
 
+#: Request ``kind`` for the session-resume handshake (server-side
+#: carve-out like ``stats``/``metrics``).  Bare → issue a fresh token;
+#: with ``session``+``acked`` → rebind and replay the unacked tail;
+#: with ``session``+``ack`` → trim the buffer only (flow control).
+SESSION_KIND = "session"
+
+#: Typed ``error_code`` for a resume presenting a token this server has
+#: no state for (never issued, expired/evicted, or the journal holding
+#: it was compacted away).  The client's only recourse is a fresh
+#: handshake and re-submission (idempotency keys make that safe).
+SESSION_UNKNOWN = "SESSION_UNKNOWN"
+
+#: Deterministic ``retry_after_ms`` hint on draining-server rejections:
+#: the drain outlasts any window pressure, so the hint is a flat bound.
+RETRY_AFTER_DRAINING_MS = 1000
+
+#: Unacked responses buffered per session (oldest dropped beyond this —
+#: a client that never acks cannot pin unbounded memory).
+SESSION_BUFFER_LIMIT = 1024
+
+#: Sessions tracked at once (oldest evicted beyond this).
+MAX_SESSIONS = 1024
+
+
+def retry_after_hint(inflight: int, window: int) -> int:
+    """Deterministic backoff hint (ms) for ``ADMISSION_REJECTED``.
+
+    Scales linearly with window occupancy — a nearly-empty window says
+    "come right back", a saturated one says "give it ~100ms" — and is a
+    pure function of two counters, so identical load patterns produce
+    identical hints (the chaos bench asserts on them).
+    """
+    occupancy = min(1.0, inflight / max(1, window))
+    return max(1, int(round(100 * occupancy)))
+
+
 #: Sentinel closing a connection's emit FIFO.
 _EOF = object()
 
+#: Sentinel: ``_route`` already enqueued everything itself (the session
+#: handshake emits a reply *plus* replayed responses).
+_HANDLED = object()
+
 _WRITE_FAILURES = (OSError, RuntimeError)  # reset/broken pipe/closed transport
+
+
+class _Session:
+    """Resumable response stream: the unacked tail, keyed by seq."""
+
+    __slots__ = ("token", "next_index", "buffer", "dropped")
+
+    def __init__(self, token: str) -> None:
+        self.token = token
+        self.next_index = 0  # next session_seq to assign at admission
+        # session_seq -> response payload (without the seq, re-stamped
+        # at emit), insertion-ordered = seq-ordered.
+        self.buffer: "OrderedDict[int, Dict[str, Any]]" = OrderedDict()
+        self.dropped = 0
+
+    def record(self, sidx: int, payload: Dict[str, Any]) -> None:
+        self.buffer[sidx] = payload
+        while len(self.buffer) > SESSION_BUFFER_LIMIT:
+            self.buffer.popitem(last=False)
+            self.dropped += 1
+
+    def trim(self, acked: int) -> None:
+        """Drop buffered responses the client has processed."""
+        for sidx in [s for s in self.buffer if s < acked]:
+            del self.buffer[sidx]
+
+
+class _Indexed:
+    """A FIFO item bound to a session slot (stamped ``session_seq``)."""
+
+    __slots__ = ("index", "item", "session")
+
+    def __init__(self, index: int, item: Any, session: "_Session") -> None:
+        self.index = index
+        self.item = item
+        self.session = session
+
+
+class _Replay:
+    """A buffered response re-emitted on resume (not re-recorded)."""
+
+    __slots__ = ("index", "payload")
+
+    def __init__(self, index: int, payload: Dict[str, Any]) -> None:
+        self.index = index
+        self.payload = payload
 
 
 class _Connection:
     """Per-connection state: the in-order emit FIFO and admission count."""
 
-    __slots__ = ("writer", "queue", "inflight", "broken", "deadline_horizon", "bare")
+    __slots__ = (
+        "writer", "queue", "inflight", "broken", "deadline_horizon", "bare",
+        "session",
+    )
 
     def __init__(self, writer: asyncio.StreamWriter) -> None:
         self.writer = writer
@@ -111,6 +224,7 @@ class _Connection:
         # one bare request means the emit flush can't be deadline-bounded).
         self.deadline_horizon: Optional[float] = None
         self.bare = False
+        self.session: Optional[_Session] = None
 
 
 class SocketServer:
@@ -138,6 +252,9 @@ class SocketServer:
         window: Optional[int] = None,
         emit_timeout: float = 60.0,
         close_timeout: float = 5.0,
+        sessions: Optional[
+            Dict[str, List[Tuple[int, RealizationResponse]]]
+        ] = None,
     ) -> None:
         self.executor = executor
         self.host = host
@@ -164,6 +281,19 @@ class SocketServer:
         self._threads: Optional[ThreadPoolExecutor] = None
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._done: Optional[asyncio.Event] = None
+        # Session resume: token -> _Session, optionally seeded from a
+        # journal recovery (BatchExecutor.recover_journal()) so clients
+        # of the *previous* server process can resume here.
+        self.sessions_created = 0
+        self.sessions_resumed = 0
+        self.session_replayed = 0  # responses re-emitted on resume
+        self._sessions: "OrderedDict[str, _Session]" = OrderedDict()
+        for token, tail in (sessions or {}).items():
+            session = _Session(token)
+            for sidx, response in tail:
+                session.buffer[sidx] = response.to_dict()
+                session.next_index = max(session.next_index, sidx + 1)
+            self._sessions[token] = session
 
     # ------------------------------------------------------------------ #
     # Lifecycle                                                          #
@@ -315,7 +445,9 @@ class SocketServer:
             text = line.decode("utf-8", errors="replace").strip()
             if not text:
                 continue
-            conn.queue.put_nowait(self._route(text, conn))
+            item = self._route(text, conn)
+            if item is not _HANDLED:
+                conn.queue.put_nowait(item)
             # Round-robin fairness: yield after every admission so
             # pipelined connections interleave one request at a time
             # instead of one socket being drained dry first.
@@ -323,45 +455,169 @@ class SocketServer:
 
     def _route(self, text: str, conn: _Connection) -> Any:
         """One request line -> FIFO item: a response payload (parse
-        error, rejection, stats) or the admitted request's future."""
+        error, rejection, stats) or the admitted request's future.
+        Returns ``_HANDLED`` when it enqueued items itself (the session
+        handshake emits a reply plus any replayed responses)."""
         try:
             payload = json.loads(text)
         except json.JSONDecodeError as exc:
-            return error_response("", "?", f"bad JSON: {exc}")
+            return self._immediate(
+                error_response("", "?", f"bad JSON: {exc}"), conn
+            )
         if isinstance(payload, dict) and payload.get("kind") == STATS_KIND:
             return self._stats_envelope(payload)
         if isinstance(payload, dict) and payload.get("kind") == METRICS_KIND:
             return self._metrics_envelope(payload)
+        if isinstance(payload, dict) and payload.get("kind") == SESSION_KIND:
+            self._session_handshake(payload, conn)
+            return _HANDLED
         parsed = parse_request_payload(payload)
         if isinstance(parsed, RealizationResponse):
-            return parsed  # parse error: already an ERROR envelope
+            return self._immediate(parsed, conn)  # parse error envelope
         return self._admit(parsed, conn)
+
+    def _immediate(self, response: RealizationResponse, conn: _Connection) -> Any:
+        """An envelope answered without executing (parse error or
+        admission rejection): journaled as a ``rejected`` record when a
+        journal is attached, and bound to the next session slot so a
+        resumed client sees the identical stream."""
+        session = conn.session
+        slot: Optional[Tuple[str, int]] = None
+        sidx: Optional[int] = None
+        if session is not None:
+            sidx = session.next_index
+            session.next_index += 1
+            slot = (session.token, sidx)
+        journal = getattr(self.executor, "journal", None)
+        if journal is not None:
+            journal.append_rejected(response, slot)
+        if sidx is None:
+            return response
+        assert session is not None
+        return _Indexed(sidx, response, session)
+
+    # ------------------------------------------------------------------ #
+    # Session resume                                                     #
+    # ------------------------------------------------------------------ #
+
+    def _session_envelope(
+        self, request_id: str, session: _Session, resumed: bool, replayed: int
+    ) -> Dict[str, Any]:
+        return {
+            "request_id": request_id,
+            "kind": SESSION_KIND,
+            "ok": True,
+            "verdict": "SESSION",
+            "session": session.token,
+            "resumed": resumed,
+            "replayed": replayed,
+            "next_seq": session.next_index,
+        }
+
+    def _session_handshake(self, payload: Dict[str, Any], conn: _Connection) -> None:
+        """Create, resume, or ack a session (items go straight onto the
+        connection FIFO: the reply, then any replayed responses, strictly
+        before traffic admitted afterwards)."""
+        request_id = str(payload.get("request_id") or "")
+        token = payload.get("session")
+        ack_only = "ack" in payload
+        acked = payload.get("ack" if ack_only else "acked", 0)
+        if (
+            not isinstance(acked, int)
+            or isinstance(acked, bool)
+            or acked < 0
+        ):
+            conn.queue.put_nowait(
+                error_response(
+                    request_id, SESSION_KIND,
+                    f"'{'ack' if ack_only else 'acked'}' must be a "
+                    f"non-negative integer, got {acked!r}",
+                )
+            )
+            return
+        if token is None:
+            while len(self._sessions) >= MAX_SESSIONS:
+                self._sessions.popitem(last=False)  # oldest token out
+            token = secrets.token_hex(8)
+            while token in self._sessions:  # pragma: no cover - 2^-64
+                token = secrets.token_hex(8)
+            session = _Session(token)
+            self._sessions[token] = session
+            conn.session = session
+            self.sessions_created += 1
+            conn.queue.put_nowait(
+                self._session_envelope(request_id, session, False, 0)
+            )
+            return
+        session = (
+            self._sessions.get(token) if isinstance(token, str) else None
+        )
+        if session is None:
+            conn.queue.put_nowait(
+                error_response(
+                    request_id, SESSION_KIND,
+                    f"unknown session token {token!r}; open a fresh session "
+                    "and resubmit (idempotency keys make resubmission safe)",
+                    code=SESSION_UNKNOWN,
+                )
+            )
+            return
+        session.trim(acked)
+        if ack_only:
+            conn.queue.put_nowait(
+                self._session_envelope(request_id, session, False, 0)
+            )
+            return
+        conn.session = session
+        self._sessions.move_to_end(token)
+        self.sessions_resumed += 1
+        pending = list(session.buffer.items())
+        conn.queue.put_nowait(
+            self._session_envelope(request_id, session, True, len(pending))
+        )
+        for sidx, buffered in pending:
+            conn.queue.put_nowait(_Replay(sidx, buffered))
 
     def _admit(self, request: Any, conn: _Connection) -> Any:
         """Admission control: dispatch within the window, typed
-        rejection beyond it.  Rejected requests are never executed."""
+        rejection beyond it.  Rejected requests are never executed; the
+        rejection carries a deterministic ``retry_after_ms`` hint
+        (:func:`retry_after_hint`, from window occupancy) in ``detail``
+        so clients pace their resubmission."""
         if self._draining:
             self.rejected += 1
-            return error_response(
-                request.request_id, request.kind,
-                "server is draining; request rejected",
-                code=ADMISSION_REJECTED,
+            return self._immediate(
+                error_response(
+                    request.request_id, request.kind,
+                    "server is draining; request rejected",
+                    code=ADMISSION_REJECTED,
+                    retry_after_ms=RETRY_AFTER_DRAINING_MS,
+                ),
+                conn,
             )
         if self._inflight >= self.window:
             self.rejected += 1
-            return error_response(
-                request.request_id, request.kind,
-                f"in-flight window full ({self.window}); back off and retry",
-                code=ADMISSION_REJECTED,
+            return self._immediate(
+                error_response(
+                    request.request_id, request.kind,
+                    f"in-flight window full ({self.window}); back off and retry",
+                    code=ADMISSION_REJECTED,
+                    retry_after_ms=retry_after_hint(self._inflight, self.window),
+                ),
+                conn,
             )
         share = max(1, self.window // max(1, len(self._connections)))
         if conn.inflight >= share:
             self.rejected += 1
-            return error_response(
-                request.request_id, request.kind,
-                f"per-connection fair share exhausted "
-                f"({share} of window {self.window}); back off and retry",
-                code=ADMISSION_REJECTED,
+            return self._immediate(
+                error_response(
+                    request.request_id, request.kind,
+                    f"per-connection fair share exhausted "
+                    f"({share} of window {self.window}); back off and retry",
+                    code=ADMISSION_REJECTED,
+                    retry_after_ms=retry_after_hint(self._inflight, self.window),
+                ),
+                conn,
             )
         self._inflight += 1
         conn.inflight += 1
@@ -375,16 +631,39 @@ class SocketServer:
                 conn.deadline_horizon = deadline
         else:
             conn.bare = True
+        # Session slot assignment happens at admission (read order), and
+        # the per-connection FIFO preserves it through emit — so
+        # session_seq is dense and ordered even though futures complete
+        # out of order.  The slot rides to the executor so the journal's
+        # admitted record can rebuild the session after a restart.
+        slot: Optional[Tuple[str, int]] = None
+        sidx: Optional[int] = None
+        if conn.session is not None:
+            sidx = conn.session.next_index
+            conn.session.next_index += 1
+            slot = (conn.session.token, sidx)
         if self.executor.mode == "processes":
             # The async pool path — and deliberately the non-reopening
             # _submit: a racing close() must resolve the future, not
             # resurrect the pool.
-            cfut = self.executor._submit(request, Future(), deadline=deadline)
+            if slot is not None:
+                cfut = self.executor._submit(
+                    request, Future(), deadline=deadline, session=slot
+                )
+            else:
+                cfut = self.executor._submit(request, Future(), deadline=deadline)
         else:
             assert self._threads is not None
-            cfut = self._threads.submit(self.executor.handle, request)
+            if slot is not None:
+                cfut = self._threads.submit(self.executor.handle, request, slot)
+            else:
+                cfut = self._threads.submit(self.executor.handle, request)
         cfut.add_done_callback(lambda _f, c=conn: self._release_threadsafe(c))
-        return asyncio.wrap_future(cfut, loop=self._loop)
+        wrapped = asyncio.wrap_future(cfut, loop=self._loop)
+        if sidx is None:
+            return wrapped
+        assert conn.session is not None
+        return _Indexed(sidx, wrapped, conn.session)
 
     def _release_threadsafe(self, conn: _Connection) -> None:
         try:
@@ -398,11 +677,34 @@ class SocketServer:
         conn.inflight -= 1
 
     async def _emit_loop(self, conn: _Connection) -> None:
-        """Drain one connection's FIFO to its socket, in order."""
+        """Drain one connection's FIFO to its socket, in order.
+
+        Session-slotted items (``_Indexed``) are recorded into the
+        session's resume buffer *before* the write — and before the
+        broken-connection check, which is the point: a response that
+        completes after the client dropped is exactly the one a resume
+        must replay.  Replays (``_Replay``) are re-emitted verbatim and
+        neither re-recorded nor re-counted in ``handled``.
+        """
         while True:
             item = await conn.queue.get()
             if item is _EOF:
                 return
+            sidx: Optional[int] = None
+            session: Optional[_Session] = None
+            if type(item) is _Replay:
+                payload = dict(item.payload)
+                payload["session_seq"] = item.index
+                self.session_replayed += 1
+                if not conn.broken:
+                    try:
+                        conn.writer.write((json.dumps(payload) + "\n").encode())
+                        await conn.writer.drain()
+                    except _WRITE_FAILURES:
+                        conn.broken = True
+                continue
+            if type(item) is _Indexed:
+                sidx, session, item = item.index, item.session, item.item
             if isinstance(item, RealizationResponse):
                 payload = item.to_dict()
             elif isinstance(item, dict):
@@ -415,6 +717,10 @@ class SocketServer:
                         continue  # future killed in forced teardown
                     raise  # the emit task itself was cancelled
                 payload = response.to_dict()
+            if sidx is not None and session is not None:
+                session.record(sidx, dict(payload))
+                payload = dict(payload)
+                payload["session_seq"] = sidx
             self.handled += 1
             if payload.get("verdict") == "ERROR":
                 self.errors += 1
@@ -467,6 +773,18 @@ class SocketServer:
                 "rejected": self.rejected,
                 "draining": self._draining,
                 "uptime_s": round(time.monotonic() - self.started_at, 3),
+                "sessions": {
+                    "active": len(self._sessions),
+                    "created": self.sessions_created,
+                    "resumed": self.sessions_resumed,
+                    "replayed": self.session_replayed,
+                    "buffered": sum(
+                        len(s.buffer) for s in self._sessions.values()
+                    ),
+                    "dropped": sum(
+                        s.dropped for s in self._sessions.values()
+                    ),
+                },
             },
         }
 
@@ -504,6 +822,13 @@ class SocketServer:
             ("repro_server_uptime_seconds", "gauge",
              "Seconds since the server started",
              time.monotonic() - self.started_at),
+            ("repro_server_sessions", "gauge",
+             "Resumable sessions tracked", float(len(self._sessions))),
+            ("repro_server_sessions_resumed_total", "counter",
+             "Session resume handshakes served", float(self.sessions_resumed)),
+            ("repro_server_session_replayed_total", "counter",
+             "Responses replayed to resuming clients",
+             float(self.session_replayed)),
         )
         return [
             (name, kind, help, [(name, (), value)])
@@ -520,6 +845,7 @@ def serve_socket(
     install_signal_handlers: bool = True,
     emit_timeout: float = 60.0,
     close_timeout: float = 5.0,
+    sessions: Optional[Dict[str, List[Tuple[int, RealizationResponse]]]] = None,
 ) -> Tuple[int, int]:
     """Blocking socket-serve entry point (the CLI shape).
 
@@ -540,6 +866,7 @@ def serve_socket(
             window=window,
             emit_timeout=emit_timeout,
             close_timeout=close_timeout,
+            sessions=sessions,
         ).start()
         if install_signal_handlers:
             loop = asyncio.get_running_loop()
