@@ -19,10 +19,11 @@ message.
 
 from __future__ import annotations
 
+import itertools
 import math
 import sys
 from dataclasses import dataclass, field
-from typing import Any, Dict, Tuple
+from typing import Any, Dict, Optional, Tuple
 
 
 def _scalar_words(value: Any, word_bits: int) -> int:
@@ -84,16 +85,43 @@ def scalar_words_cached(value, word_bits, int_cache, scalar_cache) -> int:
 #: warm entries.
 _WORD_CACHES: Dict[int, Tuple[Dict[int, int], Dict[Tuple[type, Any], int]]] = {}
 
-#: Growth bound per cache dict.  Purity makes clearing always safe, so a
-#: long-lived serve process with endlessly varied payloads stays bounded:
-#: :func:`word_caches` clears any dict that outgrew the bound and lets
-#: it re-warm.  The engines' hottest loops insert through direct
-#: references that bypass this function, so their round prologues call
-#: ``word_caches`` once per round (``FastEngine.deliver``,
-#: ``_ShardState.stage``) to keep the bound enforced there too.  Holders
-#: of direct references keep working — they see the same (emptied)
-#: dicts.
+#: Growth bound per cache dict.  Purity makes dropping entries always
+#: safe, so a long-lived serve process with endlessly varied payloads
+#: stays bounded: :func:`word_caches` evicts the *oldest* entries of any
+#: dict that outgrew the bound, down to half of it, and lets the rest
+#: re-warm.  Dicts iterate in insertion order, so this is FIFO
+#: ("oldest-inserted-out") eviction — an LRU approximation: true
+#: recency tracking would put a bookkeeping write on every *read* in the
+#: engines' hottest loops, which is exactly what the caches exist to
+#: avoid.  Those loops insert through direct references that bypass this
+#: function, so their round prologues call ``word_caches`` once per
+#: round (``FastEngine`` deliver, ``_ShardState.stage``,
+#: ``ColumnarRoundBatch.ensure_words``) to keep the bound enforced there
+#: too.  Holders of direct references keep working — they see the same
+#: (trimmed) dicts.
 _WORD_CACHE_LIMIT = 1 << 20
+
+#: Entries evicted from the word caches, per word width (monotone;
+#: surfaced through engine ``stats()`` and the obs registry so cache
+#: churn in long-lived serve processes is observable).
+_WORD_CACHE_EVICTIONS: Dict[int, int] = {}
+
+
+def _evict_oldest(cache: dict, word_bits: int) -> None:
+    """Drop the oldest-inserted entries down to half the growth bound."""
+    drop = len(cache) - (_WORD_CACHE_LIMIT >> 1)
+    for key in list(itertools.islice(iter(cache), drop)):
+        del cache[key]
+    _WORD_CACHE_EVICTIONS[word_bits] = (
+        _WORD_CACHE_EVICTIONS.get(word_bits, 0) + drop
+    )
+
+
+def word_cache_evictions(word_bits: Optional[int] = None) -> int:
+    """Evicted word-cache entries for ``word_bits`` (or all widths)."""
+    if word_bits is not None:
+        return _WORD_CACHE_EVICTIONS.get(word_bits, 0)
+    return sum(_WORD_CACHE_EVICTIONS.values())
 
 
 def word_caches(word_bits: int) -> Tuple[Dict[int, int], Dict[Tuple[type, Any], int]]:
@@ -104,9 +132,9 @@ def word_caches(word_bits: int) -> Tuple[Dict[int, int], Dict[Tuple[type, Any], 
         return caches
     int_cache, scalar_cache = caches
     if len(int_cache) > _WORD_CACHE_LIMIT:
-        int_cache.clear()
+        _evict_oldest(int_cache, word_bits)
     if len(scalar_cache) > _WORD_CACHE_LIMIT:
-        scalar_cache.clear()
+        _evict_oldest(scalar_cache, word_bits)
     return caches
 
 

@@ -8,34 +8,40 @@ shards, each owned by a persistent OS worker process, and every round
 runs as a two-phase barrier exchange:
 
 1. **Stage** — the parent routes the round's sends to the shard owning
-   each *sender*, shipping each shard's slice as one columnar wire
-   batch (:mod:`repro.ncc.wire`) rather than per-message pickled
-   objects.  Workers validate their senders' sends against shard-local
-   replica knowledge (gating, word budgets, send caps), stamp them, and
-   bucket the survivors by the shard owning each *receiver*.  Messages
-   whose receiver lives in the same shard are retained locally;
-   cross-shard buckets travel back to the parent as encoded entry
-   batches.
+   each *sender*, shipping each shard's slice as one routed columnar
+   blob (:mod:`repro.ncc.wire`) — gathered straight from a
+   columnar-staged plan's own columns, or columnarised off the message
+   attributes of an object-staged one.  Workers validate as *column
+   passes* against shard-local replica knowledge (gating over the
+   src/receiver columns, word accounting over the payload columns, send
+   caps as one counting pass) and bucket survivors by the shard owning
+   each *receiver*.  Entries whose receiver lives in the same shard are
+   retained as column references; cross-shard buckets travel back to
+   the parent as gathered column slices.  A staging worker never
+   constructs a ``Message``.
 2. **Exchange + deliver** — at the barrier the parent relays each
-   cross-shard bucket to the receiver's owner *without decoding it*
-   (strict-mode arrival counts read the blob's receiver column raw).
-   Workers merge their retained and relayed messages per receiver in
-   global plan order (every staged entry carries its plan index), apply
-   backlog-first FIFO delivery under the receive cap (spilling in defer
-   mode), update their replica knowledge, and return the inboxes plus
-   compact deltas (knowledge gains, backlog consumption, spills,
-   meters) — again as columnar batches; decoding re-interns message
-   kinds, so the ``msg()`` identity invariant survives the boundary by
-   construction.
+   cross-shard slice to the receiver's owner *verbatim* (strict-mode
+   arrival counts read the blob's receiver column raw).  Workers merge
+   their retained and relayed columns per receiver in global plan order
+   (every staged entry carries its plan index), apply backlog-first
+   FIFO delivery under the receive cap (spilling in defer mode, as
+   field tuples — worker backlogs hold no objects either), update their
+   replica knowledge, and return the inboxes as one grouped columnar
+   batch plus compact deltas (knowledge gains, backlog consumption,
+   spills, meters, their construction count).
 
 The parent then merges the per-shard inboxes in deterministic node
 order (shards are contiguous index ranges, so concatenating shard
 results in shard order is simulator-index order) and applies the same
 deltas to its **authoritative mirror** — ``Network.known``,
 ``Network._deferred`` and all meters stay bit-identical to what the
-reference engine would have produced.  Protocol code (which runs in the
-parent and reads ``net.known`` / ``net.mem`` freely) never observes the
-sharding.
+reference engine would have produced.  The merged inboxes stay columnar
+(:class:`~repro.ncc.wire.ColumnarInbox` slices that re-intern kinds and
+materialise lazily), so end to end a violation-free sharded round
+builds ``Message`` objects only for the entries protocol code actually
+touches — ``Network.engine_stats()`` meters both sides.  Protocol code
+(which runs in the parent and reads ``net.known`` / ``net.mem`` freely)
+never observes the sharding.
 
 **Equivalence guarantee.**  Like the fast engine, any round that would
 violate a model constraint is discarded and replayed through the
@@ -70,17 +76,24 @@ from collections import Counter, deque
 from time import perf_counter
 from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
+from operator import itemgetter
+
 from repro.ncc.config import EnforcementMode
-from repro.ncc.engine import ReferenceEngine
+from repro.ncc.engine import ReferenceEngine, engine_counts
 from repro.ncc.message import Message, scalar_words_cached, word_caches
 from repro.ncc.wire import (
-    decode_entries,
+    ColumnarInbox,
+    ColumnarRoundBatch,
     decode_grouped,
+    decode_grouped_fields,
     decode_id_groups,
-    encode_entries,
     encode_grouped,
+    encode_grouped_fields,
     encode_id_groups,
-    entry_receivers,
+    encode_routed_entries,
+    materialized_total,
+    note_delivered_columnar,
+    routed_receivers,
 )
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -143,32 +156,46 @@ class _ShardState:
         self.known: Dict[int, set] = {
             v: set(members) for v, members in init["known"].items()
         }
-        # Backlogs hold (words, message) so defer-mode redelivery never
-        # recomputes a size.
+        # Backlogs hold (words, kind, ids, data, src) *field tuples* —
+        # a worker never constructs a Message object; defer-mode
+        # redelivery appends the fields into the next result batch and
+        # never recomputes a size.
         self.deferred: Dict[int, deque] = {}
         for v, tail in init.get("deferred", {}).items():
             self.deferred[v] = deque(
-                (m.words(self.word_bits), m) for m in tail
+                (m.words(self.word_bits), m.kind, m.ids, m.data, m.src)
+                for m in tail
             )
         # Word-count memoization: the process-wide pair for this width
         # (pure: word_bits is fixed for life).
         self._int_words, self._scalar_words = word_caches(self.word_bits)
-        # Same-shard staged messages retained between the two phases.
-        self._local_staged: List[Tuple[int, int, int, Message]] = []
+        # The validated stage batch and its same-shard entries
+        # ``(plan_idx, dst, j)``, retained between the two phases.
+        self._stage_batch: Optional[ColumnarRoundBatch] = None
+        self._local_staged: List[Tuple[int, int, int]] = []
+        # Materialisation baseline: fork copies the parent's process-wide
+        # meters, so this worker's own constructions are (total - base).
+        # Shipped with every deliver delta — the parent's engine stats
+        # (and the zero-construction acceptance test) read it.
+        self._mat_base = materialized_total()
 
     # -- phase 1: validate + stage ---------------------------------- #
 
-    def stage(self, grants, sends_blob):
+    def stage(self, grants, routed):
         """Validate this shard's sends; bucket survivors by receiver shard.
 
-        ``sends_blob`` is the parent's columnar batch of
-        ``(plan_idx, src, dst, message)`` entries for this shard's
-        senders.  Returns ``(violation, remote_blobs, local_counts)``
-        where ``remote_blobs`` maps receiver-shard id -> an encoded
-        entry batch of ``(plan_idx, dst, words, message)`` and
-        ``local_counts`` lists ``(dst, count)`` for messages retained in
-        this shard.  Staging mutates no replica state, so a violating
-        round aborts cleanly.
+        ``routed`` is the parent's ``(plan_idx column, batch wire form)``
+        slice for this shard's senders.  Validation is pure column work —
+        word accounting over the payload columns (cached on the batch, so
+        the receiver shards never re-size a relayed entry), gating over
+        the src/receiver columns, the send cap as one counting pass — and
+        the cross-shard buckets are *gathered column slices* of the same
+        batch: a staging worker never constructs a ``Message``.  Returns
+        ``(violation, remote_blobs, local_counts)`` where ``remote_blobs``
+        maps receiver-shard id -> a routed blob and ``local_counts``
+        lists ``(dst, count)`` for entries retained in this shard.
+        Staging mutates no replica state, so a violating round aborts
+        cleanly.
         """
         known = self.known
         for u, v in grants:  # parent pre-filters to this shard's nodes
@@ -176,23 +203,32 @@ class _ShardState:
             if granted is not None and v != u:
                 granted.add(v)
         self._local_staged = []
+        self._stage_batch = None
         local = self._local_staged
-        remote: Dict[int, list] = {}
-        local_counts: Counter = Counter()
-        int_cache = self._int_words
-        scalar_cache = self._scalar_words
-        # One word_caches() call per round keeps the shared caches'
-        # growth bound enforced on this writer path (the inserts below
-        # bypass it); the trim lives in repro/ncc/message.py.
-        word_caches(self.word_bits)
-        word_bits = self.word_bits
-        max_words = self.max_words
+        plan_idxs, batch_wire = routed
+        if batch_wire is None:
+            return (False, {}, ())
+        batch = ColumnarRoundBatch.from_wire(batch_wire)
+        # ensure_words enforces the word caches' growth bound when it
+        # computes (and a precomputed column inserts nothing), covering
+        # the once-per-round word_caches() call this path used to make.
+        words_col, words_ok = batch.ensure_words(self.word_bits)
+        if not words_ok:
+            # Non-scalar payload: flag a violation so the parent's
+            # reference replay raises the exact TypeError the
+            # in-process engines raise.
+            return (True, {}, ())
+        if words_col and max(words_col) > self.max_words:
+            return (True, {}, ())
+        srcs = batch.srcs
+        dsts = batch.dsts
         shard_of = self.shard_of
         own = self.shard_id
         last_src = None
         known_to_src: Optional[set] = None
-        per_sender: Counter = Counter()
-        for idx, src, dst, message in decode_entries(sends_blob):
+        remote: Dict[int, list] = {}
+        local_counts: Counter = Counter()
+        for j, (src, dst) in enumerate(zip(srcs, dsts)):
             if src != last_src:
                 known_to_src = known.get(src)
                 if known_to_src is None:
@@ -201,26 +237,9 @@ class _ShardState:
             # Self-sends fail here too: src never appears in known[src].
             if dst not in known_to_src:
                 return (True, {}, ())
-            words = len(message.ids)
-            data = message.data
-            if data:
-                try:
-                    for value in data:
-                        words += scalar_words_cached(
-                            value, word_bits, int_cache, scalar_cache
-                        )
-                except TypeError:
-                    # Non-scalar payload: flag a violation so the parent's
-                    # reference replay raises the exact TypeError the
-                    # in-process engines raise.
-                    return (True, {}, ())
-            if words > max_words:
-                return (True, {}, ())
-            per_sender[src] += 1
-            message.__dict__["src"] = src
             target = shard_of.get(dst)
             if target == own:
-                local.append((idx, dst, words, message))
+                local.append((plan_idxs[j], dst, j))
                 local_counts[dst] += 1
             elif target is None:
                 # A granted-but-phantom recipient (possible under custom
@@ -228,34 +247,56 @@ class _ShardState:
                 # exact behaviour.
                 return (True, {}, ())
             else:
-                remote.setdefault(target, []).append((idx, dst, words, message))
-        if per_sender and max(per_sender.values()) > self.send_cap:
-            return (True, {}, ())
+                remote.setdefault(target, []).append(j)
+        # Amortized send cap: one counting pass, only when this shard's
+        # total could overdrive a sender at all.
+        if len(srcs) > self.send_cap:
+            per_sender = Counter(srcs)
+            if max(per_sender.values()) > self.send_cap:
+                return (True, {}, ())
+        self._stage_batch = batch
         return (
             False,
-            {target: encode_entries(bucket) for target, bucket in remote.items()},
+            {
+                target: (
+                    tuple(plan_idxs[j] for j in bucket),
+                    batch.gather(bucket).to_wire(),
+                )
+                for target, bucket in remote.items()
+            },
             tuple(local_counts.items()),
         )
 
     # -- phase 2: barrier exchange + delivery ----------------------- #
 
     def deliver(self, relayed_blobs):
-        """Merge relayed + retained messages and deliver to owned nodes.
+        """Merge relayed + retained columns and deliver to owned nodes.
 
-        ``relayed_blobs`` are the other shards' encoded entry batches
-        for this shard's receivers, relayed verbatim by the parent.
-        Applies replica mutations immediately (the parent pre-checks the
-        only phase-2 violation — strict receive caps — before relaying,
-        so this phase cannot fail).  Returns the per-receiver inboxes
-        and the compact deltas the parent mirrors, as wire batches.
+        ``relayed_blobs`` are the other shards' routed column slices for
+        this shard's receivers, relayed verbatim by the parent.  The
+        merge is pure column work: staged entries are ``(plan_idx,
+        batch, j)`` references, delivered entries append column cells
+        into one result batch, and backlogs/spills move as field tuples
+        — no ``Message`` is ever constructed worker-side.  Applies
+        replica mutations immediately (the parent pre-checks the only
+        phase-2 violation — strict receive caps — before relaying, so
+        this phase cannot fail).  Returns the per-receiver inboxes as a
+        grouped columnar batch plus the compact deltas the parent
+        mirrors.
         """
-        staged: Dict[int, List[Tuple[int, int, int, Message]]] = {}
-        for entry in self._local_staged:
-            staged.setdefault(entry[1], []).append(entry)
-        for blob in relayed_blobs:
-            for entry in decode_entries(blob):
-                staged.setdefault(entry[1], []).append(entry)
+        staged: Dict[int, list] = {}
+        own = self._stage_batch
+        for plan_idx, dst, j in self._local_staged:
+            staged.setdefault(dst, []).append((plan_idx, own, j))
+        for plan_idxs, batch_wire in relayed_blobs:
+            batch = ColumnarRoundBatch.from_wire(batch_wire)
+            batch_dsts = batch.dsts
+            for j, plan_idx in enumerate(plan_idxs):
+                staged.setdefault(batch_dsts[j], []).append(
+                    (plan_idx, batch, j)
+                )
         self._local_staged = []
+        self._stage_batch = None
 
         deferred = self.deferred
         receivers = set(staged)
@@ -265,78 +306,108 @@ class _ShardState:
         recv_cap = self.recv_cap
         known = self.known
 
-        inboxes: List[Tuple[int, List[Message]]] = []
+        out = ColumnarRoundBatch.builder()
+        append_from = out.append_from
+        append_fields = out.append_fields
+        out_col = out.srcs  # cumulative length drives the group offsets
+        keys: List[int] = []
+        offsets: List[int] = [0]
         gains: List[Tuple[int, List[int]]] = []
         backlog_takes: List[Tuple[int, int]] = []
-        spills: List[Tuple[int, List[Message]]] = []
+        spills: List[Tuple[int, list]] = []
         messages_delivered = 0
         words_delivered = 0
         max_load = 0
 
         for dst in sorted(receivers, key=local_index.__getitem__):
             backlog = deferred.get(dst)
-            bucket = staged.get(dst, ())
+            bucket = staged.get(dst)
             if bucket:
-                bucket = sorted(bucket)  # plan_idx leads: global plan order
+                # plan_idx leads and is globally unique: global plan
+                # order, never comparing the batch references.
+                bucket.sort(key=itemgetter(0))
+            else:
+                bucket = ()
             arrivals = (len(backlog) if backlog else 0) + len(bucket)
             take = arrivals if unbounded else min(arrivals, recv_cap)
             from_backlog = min(len(backlog), take) if backlog else 0
-            delivered: List[Message] = []
             gained: List[int] = []
             for _ in range(from_backlog):
-                words, message = backlog.popleft()
-                delivered.append(message)
+                words, kind, ids, data, src = backlog.popleft()
+                append_fields(kind, ids, data, src, words)
                 words_delivered += words
-                gained.append(message.src)
-                gained.extend(message.ids)
+                gained.append(src)
+                gained.extend(ids)
             staged_take = take - from_backlog
-            for _, _, words, message in bucket[:staged_take]:
-                delivered.append(message)
-                words_delivered += words
-                gained.append(message.src)
-                gained.extend(message.ids)
+            for _, sb, j in bucket[:staged_take]:
+                append_from(sb, j)
+                words_delivered += sb.words[j]
+                gained.append(sb.srcs[j])
+                gained.extend(sb.ids[j])
             tail = bucket[staged_take:]
             if tail:
                 queue = deferred.get(dst)
                 if queue is None:
                     deferred[dst] = queue = deque()
-                queue.extend((words, m) for _, _, words, m in tail)
-                spills.append((dst, [m for _, _, _, m in tail]))
+                spill_fields = []
+                for _, sb, j in tail:
+                    kind = sb.kinds[sb.kind_idx[j]]
+                    ids = sb.ids[j]
+                    data = sb.data[j]
+                    src = sb.srcs[j]
+                    spill_fields.append((kind, ids, data, src))
+                    queue.append((sb.words[j], kind, ids, data, src))
+                spills.append((dst, spill_fields))
             if from_backlog:
                 backlog_takes.append((dst, from_backlog))
-            if not delivered:
+            if not take:
                 continue
-            inboxes.append((dst, delivered))
-            messages_delivered += len(delivered)
-            if len(delivered) > max_load:
-                max_load = len(delivered)
+            keys.append(dst)
+            offsets.append(len(out_col))
+            messages_delivered += take
+            if take > max_load:
+                max_load = take
             known_to_dst = known[dst]
             known_to_dst.update(gained)
             known_to_dst.discard(dst)
             gains.append((dst, gained))
 
         return (
-            encode_grouped(inboxes),
+            (keys, offsets, out.to_wire()),
             encode_id_groups(gains),
             backlog_takes,
-            encode_grouped(spills),
+            encode_grouped_fields(spills),
             messages_delivered,
             words_delivered,
             max_load,
+            materialized_total() - self._mat_base,
         )
 
     def sync(self, known_blob, deferred_blob) -> None:
         """Replace this shard's replica from the parent's authoritative
         state (after a violation fallback, or on ``Network.reset``).
         Both sides of the resync travel as wire batches: an id-group
-        blob for knowledge, a grouped-message blob for backlogs."""
+        blob for knowledge, a grouped-message blob for backlogs — which
+        this side reads as *field tuples* (sizes recomputed through the
+        shared caches), keeping the replica object-free."""
         self.known = {v: set(members) for v, members in decode_id_groups(known_blob)}
         word_bits = self.word_bits
-        self.deferred = {
-            v: deque((m.words(word_bits), m) for m in tail)
-            for v, tail in decode_grouped(deferred_blob)
-        }
+        int_cache = self._int_words
+        scalar_cache = self._scalar_words
+        deferred: Dict[int, deque] = {}
+        for v, entries in decode_grouped_fields(deferred_blob):
+            queue = deque()
+            for kind, ids, data, src in entries:
+                words = len(ids)
+                for value in data:
+                    words += scalar_words_cached(
+                        value, word_bits, int_cache, scalar_cache
+                    )
+                queue.append((words, kind, ids, data, src))
+            deferred[v] = queue
+        self.deferred = deferred
         self._local_staged = []
+        self._stage_batch = None
 
 
 def _worker_main(conn, init: dict) -> None:  # pragma: no cover - subprocess
@@ -443,6 +514,12 @@ class ShardedEngine:
         # _shutdown_workers finalizer (shared dict, not engine attrs, so
         # the finalizer holds no reference to the engine).
         self.teardown_escalations: Dict[str, int] = {"terminated": 0, "killed": 0}
+        # Per-shard Message constructions reported with each deliver
+        # delta (cumulative per worker lifetime).  Zero on the sharded
+        # path by design — workers stage, relay and merge columns — and
+        # asserted zero by the acceptance tests; a reference fallback
+        # resync leaves it untouched (the replay runs in the parent).
+        self._worker_materialized: Dict[int, int] = {}
 
     # -- lifecycle --------------------------------------------------- #
 
@@ -501,6 +578,16 @@ class ShardedEngine:
         escalations (SIGTERM / SIGKILL) past the cooperative stop were
         ever needed on this engine's workers."""
         return {"shards": self.shards, **self.teardown_escalations}
+
+    def stats(self) -> Dict[str, int]:
+        """Engine-observability counters (:meth:`Network.engine_stats`):
+        the parent-process meters plus the workers' own construction
+        count — zero whenever the sharded column path held end to end."""
+        counts = engine_counts(self.net.word_bits)
+        counts["worker_messages_materialized"] = sum(
+            self._worker_materialized.values()
+        )
+        return counts
 
     def reset(self) -> None:
         """:meth:`Network.reset` hook: resync replicas from the parent's
@@ -578,8 +665,7 @@ class ShardedEngine:
 
     def deliver(self, plan: "RoundPlan") -> Inboxes:
         net = self.net
-        sends = plan.sends
-        if not sends and not any(net._deferred.values()):
+        if not plan and not any(net._deferred.values()):
             # Quiescent barrier round: no IPC, just the meters.
             net.rounds += 1
             net.simulated_rounds += 1
@@ -593,7 +679,7 @@ class ShardedEngine:
         if self._conns is None:
             self._spawn()
         try:
-            return self._deliver_sharded(plan, sends)
+            return self._deliver_sharded(plan)
         except (OSError, EOFError, RuntimeError):
             # Worker IPC failed mid-round: the replicas are gone, but the
             # parent state is authoritative, so tear the pool down — a
@@ -601,30 +687,62 @@ class ShardedEngine:
             self.close()
             raise
 
-    def _deliver_sharded(self, plan: "RoundPlan", sends) -> Inboxes:
+    def _route_sends(self, sends):
+        """Route an object-staged plan: one columnar slice per sender
+        shard, read straight off the message attributes (no construction,
+        no payload copies)."""
+        shard_of = self._shard_of
+        per_shard: List[list] = [[] for _ in range(self.shards)]
+        for idx, (src, dst, message) in enumerate(sends):
+            s = shard_of.get(src)
+            if s is None:  # unknown sender ID: reference raises exactly
+                return None, True
+            per_shard[s].append((idx, src, dst, message))
+        return [encode_routed_entries(bucket) for bucket in per_shard], False
+
+    def _route_batch(self, batch):
+        """Route a columnar-staged plan: gather each sender shard's
+        column slice directly — native columns from plan to worker with
+        zero per-message object work anywhere."""
+        shard_of = self._shard_of
+        per_shard: List[list] = [[] for _ in range(self.shards)]
+        for idx, src in enumerate(batch.srcs):
+            s = shard_of.get(src)
+            if s is None:  # unknown sender ID: reference raises exactly
+                return None, True
+            per_shard[s].append(idx)
+        return [
+            (
+                (tuple(bucket), batch.gather(bucket).to_wire())
+                if bucket
+                else ((), None)
+            )
+            for bucket in per_shard
+        ], False
+
+    def _deliver_sharded(self, plan: "RoundPlan") -> Inboxes:
         net = self.net
         observer = net.round_observer
         t0 = perf_counter() if observer is not None else 0.0
         conns = self._conns
-        shard_of = self._shard_of
 
-        # Route sends to the shard owning each sender (plan order is
-        # preserved per shard; entries carry their global plan index so
-        # receivers can re-merge in exact plan order).  Each shard's
-        # slice ships as one columnar wire batch.
-        per_shard: List[list] = [[] for _ in range(self.shards)]
-        violation = False
-        for idx, (src, dst, message) in enumerate(sends):
-            s = shard_of.get(src)
-            if s is None:  # unknown sender ID: reference raises exactly
-                violation = True
-                break
-            per_shard[s].append((idx, src, dst, message))
+        # Route to the shard owning each sender (plan order is preserved
+        # per shard; entries carry their global plan index so receivers
+        # can re-merge in exact plan order).  Each shard's slice ships
+        # as one routed columnar blob; a columnar-staged plan routes by
+        # gathering its own columns, an object-staged plan columnarises
+        # off the message attributes — neither constructs anything.
+        batch = plan._batch
+        if batch is not None and plan._sends is None:
+            routed, violation = self._route_batch(batch)
+        else:
+            routed, violation = self._route_sends(plan.sends)
         if violation:
             return self._fallback(plan, observer, t0)
 
         # Phase 1 — stage.  Grants queued since the last round ride
         # along, each to the shard owning the granted node.
+        shard_of = self._shard_of
         shard_grants: List[list] = [[] for _ in range(self.shards)]
         if self._grants:
             for u, v in self._grants:
@@ -633,12 +751,13 @@ class ShardedEngine:
                     shard_grants[s].append((u, v))
             self._grants.clear()
         for s, conn in enumerate(conns):
-            conn.send(("round", shard_grants[s], encode_entries(per_shard[s])))
+            conn.send(("round", shard_grants[s], routed[s]))
         replies = [self._recv(conn) for conn in conns]
 
-        # Cross-shard blobs are relayed *encoded*: the strict-mode
-        # arrival count below reads each blob's receiver column raw, so
-        # the parent never materialises a relayed message.
+        # Cross-shard blobs are relayed *as the workers' gathered column
+        # slices*: the strict-mode arrival count below reads each blob's
+        # receiver column raw, and the receiving worker merges the
+        # columns directly — no decode/re-encode at either side.
         route: List[list] = [[] for _ in range(self.shards)]
         arrivals: Counter = Counter()
         strict = net.config.enforcement is EnforcementMode.STRICT
@@ -650,7 +769,7 @@ class ShardedEngine:
                 route[target].append(blob)
                 if strict:
                     # Counter.update counts iterable elements in C.
-                    arrivals.update(entry_receivers(blob))
+                    arrivals.update(routed_receivers(blob))
             if strict:
                 for dst, count in local_counts:
                     arrivals[dst] += count
@@ -677,20 +796,30 @@ class ShardedEngine:
         t2 = perf_counter() if observer is not None else 0.0
 
         # Merge in shard order == simulator index order (contiguous
-        # shards), and mirror every delta onto the parent's state.
-        # Decoding re-interns message kinds, so both the inboxes handed
-        # to protocol code and the backlog mirror's copies (a later
-        # violation fallback delivers those through the reference loop)
-        # satisfy the msg() identity invariant without a repair pass.
+        # shards), and mirror every delta onto the parent's state.  The
+        # inboxes stay *columnar*: each shard's result batch becomes
+        # lazy ColumnarInbox slices (from_wire re-interns the kind
+        # table, so the msg() identity invariant holds if and when an
+        # entry materialises).  Only the defer-mode spill mirror
+        # materialises here — the parent's backlog holds real messages
+        # because a later violation fallback replays them through the
+        # reference loop.
         known = net.known
         net_deferred = net._deferred
         inboxes = {}
         messages_delivered = 0
         words_delivered = 0
         max_load = 0
-        for part_blob, gains_blob, backlog_takes, spills_blob, msgs, words, load in deltas:
-            for dst, box in decode_grouped(part_blob):
-                inboxes[dst] = box
+        worker_materialized = self._worker_materialized
+        for s, delta in enumerate(deltas):
+            (part_keys, part_offsets, part_wire), gains_blob, backlog_takes, \
+                spills_blob, msgs, words, load, constructed = delta
+            if part_keys:
+                part_batch = ColumnarRoundBatch.from_wire(part_wire)
+                for i, dst in enumerate(part_keys):
+                    inboxes[dst] = ColumnarInbox(
+                        part_batch, range(part_offsets[i], part_offsets[i + 1])
+                    )
             for dst, gained in decode_id_groups(gains_blob):
                 known_to_dst = known[dst]
                 known_to_dst.update(gained)
@@ -705,6 +834,8 @@ class ShardedEngine:
             words_delivered += words
             if load > max_load:
                 max_load = load
+            worker_materialized[s] = constructed
+        note_delivered_columnar(messages_delivered)
 
         net.messages_delivered += messages_delivered
         net.words_delivered += words_delivered

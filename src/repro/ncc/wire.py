@@ -46,7 +46,15 @@ materialising tuples.  ``benchmarks/bench_multiprocess.py`` races the
 shipped codec against per-object pickle on captured round batches and
 records the ratio (``transport_codec.speedup_vs_pickle``).
 
-Three shapes cover every process boundary in the repository:
+Since PR 10 the columnar batch is also the engines' *native in-memory*
+round representation (:class:`ColumnarRoundBatch` / :class:`ColumnarInbox`
+below): violation-free rounds validate, meter and deliver as column
+passes, and ``Message`` objects are materialised lazily only when
+protocol code touches an inbox entry.  The wire shapes and the in-memory
+batch share columns, so crossing a process boundary is a densify/un-box
+pass, not a decode/re-encode.
+
+Three grouped shapes cover the remaining process boundaries:
 
 * **entry batches** (:func:`encode_entries` / :func:`decode_entries`):
   three int meta columns + message columns, for the sharded engine's
@@ -71,12 +79,35 @@ from __future__ import annotations
 
 import sys
 from array import array
-from typing import Iterable, List, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
-from repro.ncc.message import Message
+from repro.ncc.message import Message, _scalar_words, word_caches
 
 #: The empty message-column set (shared; decode short-circuits on it).
 _EMPTY_COLS = ((), (), (), (), ())
+
+
+def _int_column(values):
+    """``values`` as a dense ``array('q')``, or the list itself when the
+    dense form would lie.
+
+    Dense columns win on the wire (memcpy pickling), but ``array('q')``
+    overflows past ``int64`` and silently coerces exact int *subclasses*
+    (``bool``, ``IntEnum``) to plain ints — and exact types must survive
+    the boundary (same idiom as :func:`encode_id_groups`).  Such columns
+    fall back to the plain list, which pickles element-wise but stays
+    bit-exact.
+    """
+    if not values:
+        return ()
+    try:
+        col = array("q", values)
+    except (OverflowError, TypeError):
+        return list(values)
+    # map/set keep the exact-type purity check at C speed.
+    if set(map(type, values)) != {int}:
+        return list(values)
+    return col
 
 
 def _encode_messages(messages) -> tuple:
@@ -276,6 +307,518 @@ def decode_id_groups(blob: tuple) -> List[Tuple[int, Iterable[int]]]:
         for i, boxed in oversize.items():
             out[i] = boxed
     return out
+
+
+# ---------------------------------------------------------------------- #
+# The engine-native columnar round batch                                 #
+# ---------------------------------------------------------------------- #
+#
+# PR 5 proved the struct-of-arrays layout wins on the wire; the batch
+# below promotes it to the engines' *in-memory* round representation.  A
+# violation-free round never needs a ``Message`` object: the fast
+# engine's cap checks are counting passes over the src/receiver columns,
+# word accounting runs over the payload columns, and inboxes are served
+# as column slices (:class:`ColumnarInbox`) that materialise ``Message``
+# objects lazily, only when protocol code actually touches one.  The
+# sharded engine stages, relays and merges these columns end to end —
+# its workers never construct a message at all.
+#
+# **In memory: lists.  On the wire: arrays.**  ``array('q')`` iteration
+# boxes a fresh int per element, so the engines' hottest loops iterate
+# plain lists (ints boxed once at build); :meth:`ColumnarRoundBatch.
+# to_wire` densifies the int columns (``_int_column``) at the process
+# boundary, where the memcpy pickling is the win, and ``from_wire``
+# un-boxes them back to lists in one C pass.
+
+#: Process-wide lazy-materialisation meters (monotone, like the word
+#: caches: every engine in the process shares them).
+#:
+#: * ``materialized`` — ``Message`` objects built from columns (lazy
+#:   inbox touches, defer-mode spills, reference-replay conversions);
+#: * ``inbox_materialized`` — the subset built because an inbox slice
+#:   was actually touched by protocol/test code;
+#: * ``delivered_columnar`` — entries delivered as column slices with
+#:   no pre-existing object (field-mode batches).
+_COLUMNAR_COUNTS: Dict[str, int] = {
+    "materialized": 0,
+    "inbox_materialized": 0,
+    "delivered_columnar": 0,
+}
+
+
+def note_delivered_columnar(count: int) -> None:
+    """Meter ``count`` entries delivered as column slices (no objects)."""
+    _COLUMNAR_COUNTS["delivered_columnar"] += count
+
+
+def materialized_total() -> int:
+    """Messages materialised from columns so far, process-wide."""
+    return _COLUMNAR_COUNTS["materialized"]
+
+
+def materialization_counts() -> Dict[str, int]:
+    """The lazy-materialisation scoreboard (process-wide, monotone).
+
+    ``messages_materialized`` counts every ``Message`` built from
+    columns; ``messages_stayed_columnar`` counts entries delivered as
+    column slices whose inbox was never touched — the objects the lazy
+    representation never had to build.
+    """
+    counts = _COLUMNAR_COUNTS
+    return {
+        "messages_materialized": counts["materialized"],
+        "messages_stayed_columnar": (
+            counts["delivered_columnar"] - counts["inbox_materialized"]
+        ),
+    }
+
+
+class ColumnarRoundBatch:
+    """One round's sends as columns — the engines' native representation.
+
+    Two modes share the layout:
+
+    * **object mode** (``kinds is None``): built from an existing
+      ``(src, dst, message)`` send list (:meth:`from_sends`); the
+      original objects ride in ``messages`` and ``materialize`` hands
+      them back (stamping ``src`` in place, the fast engine's
+      delivery-time contract).
+    * **field mode** (``kinds`` is the interned kind table): no objects
+      exist; ``materialize`` builds one on first touch via the same
+      ``Message.__new__`` + dict fill as :func:`_decode_messages`, so
+      the ``msg()`` kind-identity invariant holds by construction.
+
+    ``words`` is filled by :meth:`ensure_words` (one pass over the
+    payload columns, memoized through the shared word caches) and rides
+    the wire with the batch, so a relayed column is never re-sized.
+    """
+
+    __slots__ = (
+        "kinds",
+        "kind_idx",
+        "srcs",
+        "dsts",
+        "ids",
+        "data",
+        "words",
+        "words_ok",
+        "messages",
+        "_built",
+        "_kind_slot",
+    )
+
+    def __init__(
+        self, kinds, kind_idx, srcs, dsts, ids, data, words=None, messages=None
+    ) -> None:
+        self.kinds = kinds
+        self.kind_idx = kind_idx
+        self.srcs = srcs
+        self.dsts = dsts
+        self.ids = ids
+        self.data = data
+        self.words = words
+        self.words_ok = True
+        self.messages = messages
+        self._built: Optional[list] = None
+        self._kind_slot: Optional[dict] = None
+
+    def __len__(self) -> int:
+        return len(self.srcs)
+
+    # -- construction ------------------------------------------------ #
+
+    @classmethod
+    def from_sends(cls, sends, keep_messages: bool = True) -> "ColumnarRoundBatch":
+        """Columnarise an ``(src, dst, message)`` send list.
+
+        ``keep_messages=True`` (object mode) keeps the originals so
+        materialisation is free; ``False`` builds a field-mode batch —
+        the shape a batch has after crossing a process boundary — for
+        replay benchmarks and tests that exercise lazy materialisation.
+        """
+        srcs = [s for s, _, _ in sends]
+        dsts = [d for _, d, _ in sends]
+        ids = [m.ids for _, _, m in sends]
+        data = [m.data for _, _, m in sends]
+        if keep_messages:
+            return cls(None, None, srcs, dsts, ids, data,
+                       messages=[m for _, _, m in sends])
+        kind_of: dict = {}
+        setdefault = kind_of.setdefault
+        kind_idx = [setdefault(m.kind, len(kind_of)) for _, _, m in sends]
+        return cls(tuple(kind_of), kind_idx, srcs, dsts, ids, data)
+
+    @classmethod
+    def builder(cls) -> "ColumnarRoundBatch":
+        """An empty field-mode batch for incremental column appends
+        (the sharded workers' merge path).  ``dsts`` stays empty — a
+        result batch is keyed by its grouping, not a receiver column."""
+        batch = cls([], [], [], [], [], [], words=[])
+        batch._kind_slot = {}
+        return batch
+
+    def append_fields(self, kind, ids, data, src, word) -> None:
+        """Append one entry by fields (no ``Message`` construction)."""
+        slot = self._kind_slot
+        ki = slot.get(kind)
+        if ki is None:
+            ki = slot[kind] = len(slot)
+            self.kinds.append(kind)  # keep the live table materialisable
+        self.kind_idx.append(ki)
+        self.srcs.append(src)
+        self.ids.append(ids)
+        self.data.append(data)
+        self.words.append(word)
+
+    def append_from(self, other: "ColumnarRoundBatch", j: int) -> None:
+        """Append ``other``'s entry ``j`` by copying column cells."""
+        self.append_fields(
+            other.kinds[other.kind_idx[j]],
+            other.ids[j],
+            other.data[j],
+            other.srcs[j],
+            other.words[j],
+        )
+
+    def gather(self, indices) -> "ColumnarRoundBatch":
+        """A field-mode sub-batch of ``indices`` (shares the kind table)."""
+        ki = self.kind_idx
+        srcs = self.srcs
+        dsts = self.dsts
+        ids = self.ids
+        data = self.data
+        words = self.words
+        return ColumnarRoundBatch(
+            self.kinds,
+            [ki[i] for i in indices],
+            [srcs[i] for i in indices],
+            [dsts[i] for i in indices],
+            [ids[i] for i in indices],
+            [data[i] for i in indices],
+            [words[i] for i in indices] if words is not None else None,
+        )
+
+    # -- the wire boundary ------------------------------------------- #
+
+    def to_wire(self) -> tuple:
+        """Densify for the process boundary (int columns -> arrays)."""
+        kinds = self.kinds if self._kind_slot is None else tuple(self._kind_slot)
+        words = self.words
+        return (
+            kinds,
+            _int_column(self.kind_idx),
+            _int_column(self.srcs),
+            _int_column(self.dsts),
+            self.ids,
+            self.data,
+            None if words is None else _int_column(words),
+        )
+
+    @classmethod
+    def from_wire(cls, blob: tuple) -> "ColumnarRoundBatch":
+        """Rebuild a field-mode batch; kinds re-intern once per table
+        entry, int columns un-box back to lists in one C pass."""
+        kinds, kind_idx, srcs, dsts, ids, data, words = blob
+        return cls(
+            tuple(map(sys.intern, kinds)),
+            kind_idx if type(kind_idx) is list else list(kind_idx),
+            srcs if type(srcs) is list else list(srcs),
+            dsts if type(dsts) is list else list(dsts),
+            ids if type(ids) is list else list(ids),
+            data if type(data) is list else list(data),
+            None
+            if words is None
+            else (words if type(words) is list else list(words)),
+        )
+
+    # -- word accounting --------------------------------------------- #
+
+    def ensure_words(self, word_bits: int) -> Tuple[list, bool]:
+        """The per-entry word column (computed once, then cached on the
+        batch and shipped with it).
+
+        Returns ``(words, ok)``; ``ok`` is ``False`` when some payload
+        is not a scalar — the engines treat that as a violation and let
+        the reference replay raise the canonical ``TypeError``.
+        """
+        words = self.words
+        if words is not None:
+            return words, self.words_ok
+        int_cache, scalar_cache = word_caches(word_bits)
+        int_get = int_cache.get
+        scalar_get = scalar_cache.get
+        out: list = []
+        append = out.append
+        ok = True
+        ids_col = self.ids
+        i = 0
+        for data in self.data:
+            total = len(ids_col[i])
+            i += 1
+            if data:
+                try:
+                    for value in data:
+                        # Inlined copy of scalar_words_cached's dispatch
+                        # — keep in lockstep (repro/ncc/message.py).
+                        cls = value.__class__
+                        if cls is int:
+                            scalar = int_get(value)
+                            if scalar is None:
+                                scalar = _scalar_words(value, word_bits)
+                                int_cache[value] = scalar
+                        elif cls is float or cls is bool or value is None:
+                            scalar = 1
+                        else:
+                            key = (cls, value)
+                            scalar = scalar_get(key)
+                            if scalar is None:
+                                scalar = _scalar_words(value, word_bits)
+                                scalar_cache[key] = scalar
+                        total += scalar
+                except TypeError:
+                    ok = False
+                    append(0)
+                    continue
+            append(total)
+        self.words = out
+        self.words_ok = ok
+        return out, ok
+
+    # -- materialisation --------------------------------------------- #
+
+    def materialize(self, i: int) -> Message:
+        """The entry-``i`` ``Message``, built at most once per entry.
+
+        Object mode hands back the original (stamping ``src`` in place,
+        as the fast engine's delivery does); field mode builds one via
+        ``Message.__new__`` + dict fill and meters the construction.
+        """
+        built = self._built
+        if built is None:
+            built = self._built = [None] * len(self.srcs)
+        message = built[i]
+        if message is not None:
+            return message
+        messages = self.messages
+        if messages is not None:
+            message = messages[i]
+            src = self.srcs[i]
+            if message.src != src:
+                message.__dict__["src"] = src  # frozen dataclass: fill
+            built[i] = message
+            return message
+        message = Message.__new__(Message)
+        inner = message.__dict__
+        inner["kind"] = self.kinds[self.kind_idx[i]]
+        inner["ids"] = self.ids[i]
+        inner["data"] = self.data[i]
+        inner["src"] = self.srcs[i]
+        built[i] = message
+        _COLUMNAR_COUNTS["materialized"] += 1
+        return message
+
+    def to_sends(self) -> List[Tuple[int, int, Message]]:
+        """Back to an ``(src, dst, message)`` list in plan order (the
+        reference-replay / object-staging conversion)."""
+        messages = self.messages
+        srcs = self.srcs
+        dsts = self.dsts
+        if messages is not None:
+            return list(zip(srcs, dsts, messages))
+        materialize = self.materialize
+        return [
+            (srcs[i], dsts[i], materialize(i)) for i in range(len(srcs))
+        ]
+
+
+class ColumnarInbox:
+    """One receiver's inbox as a lazy column slice.
+
+    List-like for everything protocol code does with an inbox —
+    ``len``/truth (no materialisation), iteration, indexing, equality
+    against plain lists, concatenation — but the backing ``Message``
+    objects are built only when the box is actually touched.  The forced
+    form is cached, and entry construction is at-most-once *per batch*
+    (sub-views share the batch's build cache), so identity is stable
+    across repeated touches.
+    """
+
+    __slots__ = ("_batch", "_indices", "_forced")
+
+    def __init__(self, batch: ColumnarRoundBatch, indices) -> None:
+        self._batch = batch
+        self._indices = indices
+        self._forced: Optional[list] = None
+
+    def _force(self) -> list:
+        forced = self._forced
+        if forced is None:
+            counts = _COLUMNAR_COUNTS
+            before = counts["materialized"]
+            materialize = self._batch.materialize
+            forced = self._forced = [materialize(i) for i in self._indices]
+            counts["inbox_materialized"] += counts["materialized"] - before
+        return forced
+
+    def __len__(self) -> int:
+        return len(self._indices)
+
+    def __bool__(self) -> bool:
+        return len(self._indices) > 0
+
+    def __iter__(self):
+        return iter(self._force())
+
+    def __getitem__(self, item):
+        return self._force()[item]
+
+    def __eq__(self, other):
+        if isinstance(other, ColumnarInbox):
+            return self._force() == other._force()
+        if isinstance(other, list):
+            return self._force() == other
+        return NotImplemented
+
+    __hash__ = None  # mutable container semantics, like list
+
+    def __add__(self, other):
+        if isinstance(other, ColumnarInbox):
+            return self._force() + other._force()
+        if isinstance(other, list):
+            return self._force() + other
+        return NotImplemented
+
+    def __radd__(self, other):
+        if isinstance(other, list):
+            return other + self._force()
+        return NotImplemented
+
+    def kind_views(self) -> Dict[str, "ColumnarInbox"]:
+        """This box split by kind into lazy sub-views (preserving order).
+
+        The per-kind grouping is pure int/identity work on the kind
+        columns — no entry materialises until one *kind's* view is
+        touched, which is how ``InboxView.take`` keeps untaken kinds
+        columnar.  Only meaningful in field mode (``kinds`` present).
+        """
+        batch = self._batch
+        kinds = batch.kinds
+        kind_idx = batch.kind_idx
+        index: Dict[str, ColumnarInbox] = {}
+        index_get = index.get
+        for i in self._indices:
+            kind = kinds[kind_idx[i]]
+            sub = index_get(kind)
+            if sub is None:
+                index[kind] = ColumnarInbox(batch, [i])
+            else:
+                sub._indices.append(i)
+        return index
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "forced" if self._forced is not None else "columnar"
+        return f"ColumnarInbox({len(self._indices)} messages, {state})"
+
+
+# ---------------------------------------------------------------------- #
+# Routed batches: (plan_idx column, batch wire form)                     #
+# ---------------------------------------------------------------------- #
+#
+# The sharded engine's transport shape: a routed slice of a round is the
+# receiver-merge-ready pair of a plan-index column and a batch in wire
+# form.  The parent routes with it (stage direction) and workers relay
+# with it (exchange direction) — both sides gather/validate columns,
+# neither constructs a message.
+
+
+def encode_routed_entries(entries) -> tuple:
+    """Columnarise routed ``(plan_idx, src, dst, message)`` entries.
+
+    The parent's stage-direction encoder for *object-staged* plans:
+    reads message attributes into columns (no construction, no copy of
+    the payload tuples).
+    """
+    if not entries:
+        return ((), None)
+    kind_of: dict = {}
+    setdefault = kind_of.setdefault
+    kind_idx = [setdefault(m.kind, len(kind_of)) for _, _, _, m in entries]
+    return (
+        tuple(e[0] for e in entries),
+        (
+            tuple(kind_of),
+            _int_column(kind_idx),
+            _int_column([e[1] for e in entries]),
+            _int_column([e[2] for e in entries]),
+            [m.ids for _, _, _, m in entries],
+            [m.data for _, _, _, m in entries],
+            None,
+        ),
+    )
+
+
+def routed_count(routed: tuple) -> int:
+    """Number of entries in a routed blob, without decoding it."""
+    return len(routed[0])
+
+
+def routed_receivers(routed: tuple) -> tuple:
+    """The raw receiver column of a routed blob — the parent's
+    strict-mode arrival count reads it without materialising anything."""
+    return routed[1][3]
+
+
+# ---------------------------------------------------------------------- #
+# Grouped field tuples: (key, [(kind, ids, data, src)]) groups           #
+# ---------------------------------------------------------------------- #
+#
+# The field-tuple twins of encode_grouped/decode_grouped, sharing the
+# *same blob shape*: the sharded workers hold backlogs and spills as
+# field tuples (never objects), so their side of the boundary reads and
+# writes fields while the parent keeps using encode_grouped (its mirror
+# holds real messages) — either decoder accepts either encoder's blob.
+
+
+def encode_grouped_fields(groups) -> tuple:
+    """Encode ``(key, [(kind, ids, data, src), ...])`` groups."""
+    keys: List[int] = []
+    offsets: List[int] = [0]
+    kind_of: dict = {}
+    setdefault = kind_of.setdefault
+    kind_idx: List[int] = []
+    srcs: List[int] = []
+    ids_col: list = []
+    data_col: list = []
+    for key, entries in groups:
+        keys.append(key)
+        for kind, ids, data, src in entries:
+            kind_idx.append(setdefault(kind, len(kind_of)))
+            srcs.append(src)
+            ids_col.append(ids)
+            data_col.append(data)
+        offsets.append(len(kind_idx))
+    cols = (
+        (tuple(kind_of), kind_idx, srcs, ids_col, data_col)
+        if kind_idx
+        else _EMPTY_COLS
+    )
+    return (keys, offsets, cols)
+
+
+def decode_grouped_fields(blob: tuple):
+    """Rebuild ``(key, [(kind, ids, data, src), ...])`` groups — field
+    tuples only, no ``Message`` construction (kinds re-interned)."""
+    keys, offsets, cols = blob
+    kinds, kind_idx, srcs, ids_list, data_list = cols
+    table = [sys.intern(kind) for kind in kinds]
+    fields = [
+        (table[ki], ids, data, src)
+        for ki, src, ids, data in zip(kind_idx, srcs, ids_list, data_list)
+    ]
+    return [
+        (key, fields[offsets[i] : offsets[i + 1]])
+        for i, key in enumerate(keys)
+    ]
 
 
 # --------------------------------------------------------------------- #

@@ -55,6 +55,7 @@ from typing import (
 from repro.ncc.errors import ProtocolError
 from repro.ncc.message import Message
 from repro.ncc.network import Network
+from repro.ncc.wire import ColumnarInbox
 
 Send = Tuple[int, int, Message]
 Inboxes = Dict[int, List[Message]]
@@ -87,20 +88,35 @@ class InboxView(dict):
         self._by_kind: Dict[int, Dict[str, List[Message]]] = {}
 
     def kind_index(self, node: int) -> Dict[str, List[Message]]:
-        """The node's ``{kind: [messages]}`` map (built on first use)."""
+        """The node's ``{kind: [messages]}`` map (built on first use).
+
+        A columnar box (:class:`~repro.ncc.wire.ColumnarInbox` in field
+        mode) splits by kind on its *columns* instead — pure int work,
+        yielding lazy per-kind sub-views — so taking one kind at a node
+        materialises only that kind's messages and everything untaken
+        stays columnar.
+        """
         index = self._by_kind.get(node)
         if index is None:
-            index = {}
             box = dict.get(self, node)
-            if box:
-                index_get = index.get
-                for message in box:
-                    kind = message.kind
-                    bucket = index_get(kind)
-                    if bucket is None:
-                        index[kind] = [message]
-                    else:
-                        bucket.append(message)
+            if (
+                box is not None
+                and box.__class__ is ColumnarInbox
+                and box._forced is None
+                and box._batch.kinds is not None
+            ):
+                index = box.kind_views()
+            else:
+                index = {}
+                if box:
+                    index_get = index.get
+                    for message in box:
+                        kind = message.kind
+                        bucket = index_get(kind)
+                        if bucket is None:
+                            index[kind] = [message]
+                        else:
+                            bucket.append(message)
             self._by_kind[node] = index
         return index
 

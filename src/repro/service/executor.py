@@ -445,6 +445,60 @@ def _resolve_future(out: "Future", response: RealizationResponse) -> None:
             pass
 
 
+def _engine_columnar_metrics():
+    """Registry collector: columnar-engine counters at scrape time.
+
+    Process-wide monotone counters (see :func:`repro.ncc.wire.
+    materialization_counts` and :func:`repro.ncc.message.
+    word_cache_evictions`) covering every engine that ran in this
+    process — in-process requests and the sharded engine's parent side.
+    Pool worker processes keep their own counters; those surface through
+    the workers' own registries, not this scrape.
+    """
+    from repro.ncc.message import word_cache_evictions
+    from repro.ncc.wire import materialization_counts
+
+    counts = materialization_counts()
+    return [
+        (
+            "repro_engine_messages_materialized_total",
+            "counter",
+            "Message objects constructed from columnar round batches",
+            [
+                (
+                    "repro_engine_messages_materialized_total",
+                    (),
+                    float(counts["messages_materialized"]),
+                )
+            ],
+        ),
+        (
+            "repro_engine_messages_stayed_columnar_total",
+            "counter",
+            "Messages delivered columnar whose inboxes were never forced",
+            [
+                (
+                    "repro_engine_messages_stayed_columnar_total",
+                    (),
+                    float(counts["messages_stayed_columnar"]),
+                )
+            ],
+        ),
+        (
+            "repro_engine_word_cache_evictions_total",
+            "counter",
+            "Entries evicted from the shared word-accounting caches",
+            [
+                (
+                    "repro_engine_word_cache_evictions_total",
+                    (),
+                    float(word_cache_evictions()),
+                )
+            ],
+        ),
+    ]
+
+
 class _WatchEntry:
     """One in-flight pool future under hung-worker watchdog observation.
 
@@ -674,6 +728,7 @@ class BatchExecutor:
         if pool is not None:
             self.metrics.register_collector("network_pool", pool.collect_metrics)
         self.metrics.register_collector("circuit_breaker", self._breaker_metrics)
+        self.metrics.register_collector("engine_columnar", _engine_columnar_metrics)
         # Durability: with a journal attached, every request is written
         # at admission and completion (handle, submit, and the batch
         # processes drain all funnel through it); duplicate submissions

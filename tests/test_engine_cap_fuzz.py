@@ -27,7 +27,8 @@ from repro.ncc.errors import (
     UnknownRecipientError,
 )
 from repro.ncc.message import msg
-from repro.ncc.network import Network
+from repro.ncc.network import Network, RoundPlan
+from repro.ncc.wire import ColumnarRoundBatch
 
 ENGINE_CONFIGS = {
     "fast": {"engine": "fast"},
@@ -61,11 +62,22 @@ def ncc1_pair(n: int, seed: int = 0, **overrides):
     }
 
 
-def run_plan(net: Network, sends):
-    """Deliver one plan; return ("ok", inboxes) or ("err", type, attrs)."""
-    plan = net.plan()
-    for src, dst, message in sends:
-        plan.send(src, dst, message)
+def run_plan(net: Network, sends, columnar: bool = False):
+    """Deliver one plan; return ("ok", inboxes) or ("err", type, attrs).
+
+    ``columnar=True`` stages the plan as a field-mode
+    :class:`ColumnarRoundBatch` (the engines' native representation,
+    PR 10) instead of an object send list — violations and spills must
+    be bit-identical either way.
+    """
+    if columnar:
+        plan = RoundPlan.from_batch(
+            ColumnarRoundBatch.from_sends(sends, keep_messages=False)
+        )
+    else:
+        plan = net.plan()
+        for src, dst, message in sends:
+            plan.send(src, dst, message)
     try:
         inboxes = net.deliver(plan)
     except SendCapExceeded as exc:
@@ -269,6 +281,44 @@ class TestGatingErrors:
         assert_all_match_reference(outcomes)
 
 
+class TestColumnarStagedViolations:
+    """Columnar-staged plans (the engines' native representation) hit
+    every budget with the same errors — and the same deferred spills —
+    as object-staged plans, on every engine."""
+
+    @pytest.mark.parametrize("mode", MODES)
+    @pytest.mark.parametrize("family", ["send", "recv", "size"])
+    def test_boundary_overshoot_columnar(self, mode, family):
+        outcomes = {}
+        for engine, net in ncc1_pair(24, seed=9, enforcement=mode).items():
+            ids = list(net.node_ids)
+            if family == "send":
+                sends = [
+                    (ids[0], dst, msg("x"))
+                    for dst in ids[1 : 2 + net.send_cap]
+                ]
+            elif family == "recv":
+                sends = [
+                    (s, ids[0], msg("y"))
+                    for s in ids[1 : 2 + net.recv_cap]
+                ]
+            else:
+                fat = msg(
+                    "fat", ids=tuple(range(2000, 2001 + net.config.max_words))
+                )
+                sends = [(ids[0], ids[1], fat)]
+            outcomes[engine] = (
+                run_plan(net, sends, columnar=True),
+                snapshot(net),
+            )
+            net.close()
+        deferred_recv = (
+            family == "recv" and mode is not EnforcementMode.STRICT
+        )
+        assert outcomes["fast"][0][0] == ("ok" if deferred_recv else "err")
+        assert_all_match_reference(outcomes)
+
+
 class TestPlanFuzz:
     """Random plan streams: whole-outcome equivalence between engines."""
 
@@ -307,6 +357,48 @@ class TestPlanFuzz:
                 else:
                     log.append(result)
                     break  # network state after an error is final
+            outcomes[engine] = (log, snapshot(net), net.stats())
+            net.close()
+        assert_all_match_reference(outcomes)
+
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        seed=st.integers(0, 10_000),
+        mode=st.sampled_from(MODES),
+        rounds=st.integers(1, 5),
+    )
+    def test_random_plans_equivalent_columnar_staged(self, seed, mode, rounds):
+        """The same random scripts, staged as columnar batches."""
+        rng = random.Random(seed)
+        nets = ncc1_pair(24, seed=seed % 89, enforcement=mode)
+        script = []
+        ids = list(nets["fast"].node_ids)
+        for _ in range(rounds):
+            plan = []
+            for _ in range(rng.randrange(0, 30)):
+                src = rng.choice(ids)
+                dst = rng.choice(ids)
+                payload_ids = tuple(
+                    rng.choice(ids) for _ in range(rng.randrange(0, 3))
+                )
+                data = tuple(
+                    rng.randrange(0, 1 << 80)
+                    for _ in range(rng.randrange(0, 3))
+                )
+                plan.append((src, dst, msg("f", ids=payload_ids, data=data)))
+            script.append(plan)
+
+        outcomes = {}
+        for engine, net in nets.items():
+            log = []
+            for plan in script:
+                result = run_plan(net, plan, columnar=True)
+                if result[0] == "ok":
+                    log.append(("ok", result[1]))
+                else:
+                    log.append(result)
+                    break
             outcomes[engine] = (log, snapshot(net), net.stats())
             net.close()
         assert_all_match_reference(outcomes)

@@ -426,16 +426,20 @@ class TestExecutorLifecycle:
 
 
 class TestWordCacheBound:
-    def test_shared_caches_clear_beyond_limit(self, monkeypatch):
+    def test_shared_caches_evict_oldest_beyond_limit(self, monkeypatch):
         import repro.ncc.message as message_module
 
         int_cache, scalar_cache = message_module.word_caches(48)
         int_cache.clear()
         int_cache.update({i: 1 for i in range(10)})
         monkeypatch.setattr(message_module, "_WORD_CACHE_LIMIT", 8)
+        before = message_module.word_cache_evictions(48)
         again_int, _ = message_module.word_caches(48)
-        assert again_int is int_cache  # same shared dict, emptied in place
-        assert len(int_cache) == 0
+        assert again_int is int_cache  # same shared dict, trimmed in place
+        # Evicts oldest-inserted down to half the bound; the rest re-warm.
+        assert dict(int_cache) == {i: 1 for i in range(6, 10)}
+        assert message_module.word_cache_evictions(48) - before == 6
+        assert message_module.word_cache_evictions() >= 6
 
 
 class TestShardsValidation:
